@@ -1,0 +1,79 @@
+use tapestry_metric::{MetricSpace, PointIdx};
+
+/// A lookup's node path, origin first, replica server last.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupPath {
+    /// Nodes the query visited, in order, including origin and server.
+    pub nodes: Vec<PointIdx>,
+}
+
+impl LookupPath {
+    /// Application-level hops (edges of the path).
+    pub fn hops(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+}
+
+/// Metric length of a node path.
+pub fn path_distance<S: MetricSpace + ?Sized>(space: &S, path: &LookupPath) -> f64 {
+    path.nodes.windows(2).map(|w| space.distance(w[0], w[1])).sum()
+}
+
+/// Per-node routing-state accounting (Table 1's "Space" column, measured
+/// per node so systems of different size are comparable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpaceStats {
+    /// Mean routing entries per node (directory entries excluded).
+    pub avg_routing_entries: f64,
+    /// Largest routing table.
+    pub max_routing_entries: usize,
+    /// Mean directory (object-pointer) entries per node.
+    pub avg_directory_entries: f64,
+    /// Largest directory.
+    pub max_directory_entries: usize,
+}
+
+/// Common surface of every Table 1 baseline: join through the overlay,
+/// publish a key, and answer lookups with an explicit path.
+pub trait LocatorSystem {
+    /// Display name for experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Current number of member nodes.
+    fn len(&self) -> usize;
+
+    /// True when the system has no members.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total overlay messages spent joining nodes so far (Table 1's
+    /// "Insert Cost" numerator).
+    fn join_messages(&self) -> u64;
+
+    /// Publish `key` from storage server `server`; returns messages spent.
+    fn publish(&mut self, server: PointIdx, key: u64) -> u64;
+
+    /// Route a lookup for `key` from `origin`; `None` if unpublished.
+    fn locate(&self, origin: PointIdx, key: u64) -> Option<LookupPath>;
+
+    /// Routing/directory state accounting.
+    fn space(&self) -> SpaceStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapestry_metric::RingSpace;
+
+    #[test]
+    fn path_length_and_hops() {
+        let s = RingSpace::even(4, 100.0);
+        let p = LookupPath { nodes: vec![0, 1, 2] };
+        assert_eq!(p.hops(), 2);
+        assert!((path_distance(&s, &p) - 50.0).abs() < 1e-9);
+        let single = LookupPath { nodes: vec![3] };
+        assert_eq!(single.hops(), 0);
+        assert_eq!(path_distance(&s, &single), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Baseline object-location systems for the paper's Table 1.
+//!
+//! The paper compares Tapestry against Chord, CAN, Pastry, Viceroy and the
+//! PRR family on four axes: insertion cost, per-node space, query hops and
+//! stretch. This crate implements the systems the comparison needs as
+//! *structural models*: the real routing data structures (finger tables,
+//! CAN zones, Pastry rows, a central directory, full broadcast) over the
+//! same metric spaces as the Tapestry simulation, with joins performed
+//! through the overlay (so join message counts are honest) and lookups
+//! returning explicit node paths whose metric length gives latency and
+//! stretch.
+//!
+//! Unlike `tapestry-core`, these models are not event-driven: Table 1's
+//! quantities (hops, messages, entries) are path/structure properties and
+//! need no clock. Viceroy, Awerbuch–Peleg and RRVV appear in the paper
+//! only as asymptotic citations with no evaluated system, so the harness
+//! reports their cited bounds rather than measurements (see DESIGN.md).
+
+mod broadcast;
+mod can;
+mod centralized;
+mod chord;
+mod common;
+mod pastry;
+
+pub use broadcast::Broadcast;
+pub use can::Can;
+pub use centralized::CentralizedDirectory;
+pub use chord::Chord;
+pub use common::{path_distance, LocatorSystem, LookupPath, SpaceStats};
+pub use pastry::Pastry;

@@ -1,0 +1,79 @@
+//! Baseline-system operation costs (the Table 1 comparators): joins and
+//! lookups for Chord, CAN and Pastry.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tapestry_baselines::{Can, Chord, LocatorSystem, Pastry};
+
+fn bench_chord(c: &mut Criterion) {
+    let mut sys = Chord::for_size(256, 1);
+    for p in 0..256 {
+        sys.join(p);
+    }
+    for k in 0..32u64 {
+        sys.publish((k as usize * 7) % 256, k);
+    }
+    c.bench_function("baselines/chord_lookup_256", |b| {
+        let mut q = 0u64;
+        b.iter(|| {
+            q += 1;
+            black_box(sys.locate((q as usize * 13) % 256, q % 32))
+        })
+    });
+}
+
+fn bench_can(c: &mut Criterion) {
+    let mut sys = Can::new(2);
+    for p in 0..256 {
+        sys.join(p);
+    }
+    for k in 0..32u64 {
+        sys.publish((k as usize * 7) % 256, k);
+    }
+    c.bench_function("baselines/can_lookup_256", |b| {
+        let mut q = 0u64;
+        b.iter(|| {
+            q += 1;
+            black_box(sys.locate((q as usize * 13) % 256, q % 32))
+        })
+    });
+}
+
+fn bench_pastry(c: &mut Criterion) {
+    let mut sys = Pastry::new(3);
+    for p in 0..256 {
+        sys.join(p);
+    }
+    for k in 0..32u64 {
+        sys.publish((k as usize * 7) % 256, k);
+    }
+    c.bench_function("baselines/pastry_lookup_256", |b| {
+        let mut q = 0u64;
+        b.iter(|| {
+            q += 1;
+            black_box(sys.locate((q as usize * 13) % 256, q % 32))
+        })
+    });
+    c.bench_function("baselines/pastry_join_64", |b| {
+        b.iter(|| {
+            let mut sys = Pastry::new(4);
+            for p in 0..64 {
+                sys.join(p);
+            }
+            black_box(sys.join_messages())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_chord, bench_can, bench_pastry
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Dynamic-membership operations: node insertion (Fig. 7, including the
+//! acknowledged multicast and the Fig. 4 neighbor-table build) and
+//! voluntary departure (Fig. 12).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use tapestry_core::{TapestryConfig, TapestryNetwork};
+use tapestry_metric::TorusSpace;
+
+fn boot(n_total: usize, n0: usize, seed: u64) -> TapestryNetwork {
+    let space = TorusSpace::random(n_total, 1000.0, seed);
+    TapestryNetwork::bootstrap(TapestryConfig::default(), Box::new(space), seed, n0)
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("dynamics/insert_into_128", |b| {
+        b.iter_batched(
+            || boot(129, 128, 7),
+            |mut net| {
+                assert!(net.insert_node(128));
+                black_box(net)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_leave(c: &mut Criterion) {
+    c.bench_function("dynamics/voluntary_leave_128", |b| {
+        b.iter_batched(
+            || boot(128, 128, 8),
+            |mut net| {
+                let m = net.node_ids()[64];
+                assert!(net.leave(m));
+                black_box(net)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_probe(c: &mut Criterion) {
+    c.bench_function("dynamics/probe_round_after_kill_64", |b| {
+        b.iter_batched(
+            || {
+                let mut net = boot(64, 64, 9);
+                net.kill(net.node_ids()[10]);
+                net
+            },
+            |mut net| {
+                net.probe_all();
+                black_box(net)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_insert, bench_leave, bench_probe
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Microbenchmarks of the identifier algebra and the event engine — the
+//! hot paths under every routed message (per the Rust Performance Book
+//! guidance, these are the allocation-free inner loops worth watching).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tapestry_core::{NodeRef, RoutingTable};
+use tapestry_id::{map_roots, Guid, Id, IdSpace};
+
+fn bench_ids(c: &mut Criterion) {
+    let s = IdSpace::base16();
+    let mut rng = StdRng::seed_from_u64(1);
+    let ids: Vec<Id> = (0..1024).map(|_| Id::random(s, &mut rng)).collect();
+    c.bench_function("id/shared_prefix_len", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 1023;
+            black_box(ids[i].shared_prefix_len(&ids[i + 1]))
+        })
+    });
+    c.bench_function("id/from_u64_roundtrip", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(0x9E37_79B9);
+            black_box(Id::from_u64(s, v & 0xFFFF_FFFF).to_u64())
+        })
+    });
+    c.bench_function("id/map_roots_4", |b| {
+        let g = Guid::from_u64(s, 0xDEAD_BEEF);
+        b.iter(|| black_box(map_roots(s, g, 4)))
+    });
+}
+
+fn bench_table(c: &mut Criterion) {
+    let s = IdSpace::base16();
+    let mut rng = StdRng::seed_from_u64(2);
+    let owner = NodeRef::new(0, Id::random(s, &mut rng));
+    let mut table = RoutingTable::new(owner, 16, 8);
+    for i in 1..512usize {
+        let r = NodeRef::new(i, Id::random(s, &mut rng));
+        table.add_if_closer(r, (i % 97) as f64, 3);
+    }
+    let targets: Vec<Id> = (0..256).map(|_| Id::random(s, &mut rng)).collect();
+    c.bench_function("table/next_hop", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % targets.len();
+            black_box(table.next_hop(&targets[i], 0, None))
+        })
+    });
+    c.bench_function("table/add_if_closer", |b| {
+        let mut i = 512usize;
+        b.iter(|| {
+            i += 1;
+            let r = NodeRef::new(i, Id::from_u64(s, (i as u64).wrapping_mul(0x9E37_79B9) & 0xFFFF_FFFF));
+            black_box(table.clone().add_if_closer(r, 5.0, 3))
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ids, bench_table
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! End-to-end overlay operations on a prebuilt network: static
+//! construction, publication and location (the Figs. 2–3 operations).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use tapestry_core::{TapestryConfig, TapestryNetwork};
+use tapestry_metric::TorusSpace;
+
+fn build_net(n: usize, seed: u64) -> TapestryNetwork {
+    let space = TorusSpace::random(n, 1000.0, seed);
+    TapestryNetwork::build(TapestryConfig::default(), Box::new(space), seed)
+}
+
+fn bench_build(c: &mut Criterion) {
+    c.bench_function("overlay/static_build_128", |b| {
+        b.iter(|| black_box(build_net(128, 3)))
+    });
+}
+
+fn bench_publish_locate(c: &mut Criterion) {
+    c.bench_function("overlay/publish_256", |b| {
+        b.iter_batched(
+            || build_net(256, 4),
+            |mut net| {
+                let g = net.random_guid();
+                net.publish(net.node_ids()[7], g);
+                black_box(net)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Locate on a network with a published working set; each iteration is
+    // one full query including the simulated message exchange.
+    let mut net = build_net(256, 5);
+    let mut guids = Vec::new();
+    for i in 0..32 {
+        let g = net.random_guid();
+        net.publish(net.node_ids()[i * 7], g);
+        guids.push(g);
+    }
+    c.bench_function("overlay/locate_256", |b| {
+        let mut q = 0usize;
+        b.iter(|| {
+            q += 1;
+            let origin = net.node_ids()[(q * 13) % 256];
+            black_box(net.locate(origin, guids[q % guids.len()]))
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_build, bench_publish_locate
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! PRR v.0 (§7) operation costs: structure construction, publication and
+//! the level-descending lookup.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tapestry_metric::TorusSpace;
+use tapestry_prrv0::PrrV0;
+
+fn bench_build(c: &mut Criterion) {
+    c.bench_function("prrv0/build_256", |b| {
+        b.iter(|| {
+            let space = TorusSpace::random(256, 1000.0, 11);
+            black_box(PrrV0::build(Box::new(space), (0..256).collect(), 2, 11))
+        })
+    });
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let space = TorusSpace::random(512, 1000.0, 12);
+    let mut sys = PrrV0::build(Box::new(space), (0..512).collect(), 2, 12);
+    for k in 0..64u64 {
+        sys.publish((k as usize * 7) % 512, k);
+    }
+    c.bench_function("prrv0/publish_512", |b| {
+        let mut k = 1000u64;
+        b.iter(|| {
+            k += 1;
+            black_box(sys.publish((k as usize * 11) % 512, k))
+        })
+    });
+    c.bench_function("prrv0/locate_512", |b| {
+        let mut q = 0u64;
+        b.iter(|| {
+            q += 1;
+            black_box(sys.locate((q as usize * 13) % 512, q % 64))
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_build, bench_ops
+}
+criterion_main!(benches);

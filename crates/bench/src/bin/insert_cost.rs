@@ -1,0 +1,54 @@
+//! **Figure 7 / §4.5** — insertion cost scaling.
+//!
+//! The paper bounds insertion at O(log² n) messages and O(d·log n)
+//! network latency w.h.p. This sweep inserts nodes into networks of
+//! doubling size and prints messages, hops-equivalent, and total network
+//! distance per insert, next to log²(n) and d·log(n) reference columns —
+//! the measured columns should track the reference ratios, not n.
+
+use tapestry_bench::{f2, header, mean, parallel_sweep, row};
+use tapestry_core::{TapestryConfig, TapestryNetwork};
+use tapestry_metric::{diameter_upper_bound, TorusSpace};
+
+const JOINS: usize = 8;
+
+fn main() {
+    header(&[
+        "n", "msgs/insert", "dist/insert", "log2(n)^2", "d*log2(n)", "msgs/log2^2", "dist/(d*log)",
+    ]);
+    let sizes = [32usize, 64, 128, 256, 512, 1024];
+    let rows = parallel_sweep(sizes.len(), |si| {
+        let n = sizes[si];
+        let seed = 12_000 + si as u64;
+        let space = TorusSpace::random(n + JOINS, 1000.0, seed);
+        let diam_space = space.clone();
+        let mut net =
+            TapestryNetwork::bootstrap(TapestryConfig::default(), Box::new(space), seed, n);
+        let mut msgs = Vec::new();
+        let mut dist = Vec::new();
+        for idx in n..(n + JOINS) {
+            let m0 = net.engine().stats().messages;
+            let d0 = net.engine().stats().distance;
+            assert!(net.insert_node(idx), "insert completes");
+            msgs.push((net.engine().stats().messages - m0) as f64);
+            dist.push(net.engine().stats().distance - d0);
+        }
+        let members: Vec<usize> = (0..n).collect();
+        let d = diameter_upper_bound(&diam_space, &members) / 2.0;
+        (n, mean(&msgs), mean(&dist), d)
+    });
+    for (n, m, dist, d) in rows {
+        let lg = (n as f64).log2();
+        row(&[
+            n.to_string(),
+            f2(m),
+            f2(dist),
+            f2(lg * lg),
+            f2(d * lg),
+            f2(m / (lg * lg)),
+            f2(dist / (d * lg)),
+        ]);
+    }
+    println!("\n# expected: the last two (normalized) columns stay roughly flat —");
+    println!("# messages scale as log^2 n, network distance as d*log n (§4.5).");
+}

@@ -1,0 +1,115 @@
+//! Experiment harness shared by the per-figure binaries in `src/bin/`.
+//!
+//! Each binary regenerates one table or figure of the paper (see
+//! DESIGN.md's per-experiment index and EXPERIMENTS.md for recorded
+//! results). This library provides the common machinery: summary
+//! statistics, tab-separated row printing, and a thread-pool sweep runner
+//! that fans independent simulation instances out across cores
+//! (simulations themselves stay single-threaded — event order is the
+//! semantics — so parallelism lives at the sweep level).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Mean of a sample (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// The `p`-th percentile (0 ≤ p ≤ 100) by nearest-rank on a sorted copy.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+/// Sample standard deviation (0 for fewer than two points).
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Run `jobs(i)` for `i ∈ 0..n` across threads, collecting results in
+/// input order. The closure receives the job index; each job should build
+/// its own simulation (deterministic from its index/seed).
+pub fn parallel_sweep<T, F>(n: usize, jobs: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let results: Arc<Mutex<Vec<Option<T>>>> =
+        Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers =
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = jobs(i);
+                results.lock()[i] = Some(out);
+            });
+        }
+    });
+    Arc::try_unwrap(results)
+        .unwrap_or_else(|_| panic!("workers joined"))
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every job ran"))
+        .collect()
+}
+
+/// Print a tab-separated header row.
+pub fn header(cols: &[&str]) {
+    println!("{}", cols.join("\t"));
+}
+
+/// Print a tab-separated data row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+/// Format a float with 2 decimals (experiment output convention).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((stddev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_runs_all() {
+        let out = parallel_sweep(32, |i| i * i);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

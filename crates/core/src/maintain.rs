@@ -1,0 +1,437 @@
+//! Mesh and pointer maintenance: root transfers (§4.3), object-pointer
+//! redistribution (§4.2, Fig. 9), voluntary deletion (§5.1, Fig. 12) and
+//! involuntary deletion with lazy repair (§5.2).
+
+use crate::messages::{Msg, OpId, RoutedKind, RoutedMsg, Timer, WirePtr};
+use crate::node::{LeaveState, NodeStatus, TapestryNode};
+use crate::object_store::PtrEntry;
+use crate::refs::NodeRef;
+use tapestry_id::Prefix;
+use tapestry_sim::{Ctx, NodeIdx, SimTime};
+
+impl TapestryNode {
+    // ------------------------- root transfers (§4.3) -----------------------
+
+    /// Receiving side of `LinkAndXferRoot`: adopt pointers whose path now
+    /// passes through us, acknowledge so the sender can demote its
+    /// copies, and — when our own table routes a pointer onward (we are a
+    /// path node, not the root, or the root moved again under a
+    /// simultaneous insertion) — chain the transfer toward the true root
+    /// so no newly rooted node is left empty-handed.
+    pub(crate) fn on_transfer_ptrs(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, Timer>,
+        ptrs: Vec<WirePtr>,
+        from: NodeRef,
+    ) {
+        let expires = ctx.now + self.cfg.pointer_ttl;
+        let mut guids = Vec::new();
+        let mut forward: std::collections::BTreeMap<tapestry_sim::NodeIdx, Vec<WirePtr>> =
+            std::collections::BTreeMap::new();
+        for p in ptrs {
+            let level = self.me.id.shared_prefix_len(&p.guid.id());
+            let (is_root, next) = match self.route_next(&p.guid.id(), level, None, false).0 {
+                crate::routing_table::Hop::Root => (true, None),
+                crate::routing_table::Hop::Forward(nx, _) => (false, Some(nx)),
+            };
+            let already = self
+                .store
+                .lookup(p.guid, ctx.now)
+                .any(|e| e.server.idx == p.server.idx);
+            self.store.deposit(
+                p.guid,
+                PtrEntry { server: p.server, last_hop: Some(from.idx), expires, is_root },
+            );
+            if let Some(nx) = next {
+                if nx.idx != from.idx && !already {
+                    forward.entry(nx.idx).or_default().push(p);
+                }
+            }
+            guids.push(p.guid);
+        }
+        guids.sort();
+        guids.dedup();
+        ctx.send(from.idx, Msg::TransferAck { guids });
+        for (next, ptrs) in forward {
+            ctx.count("insert.chained_transfers", ptrs.len() as u64);
+            ctx.send(next, Msg::TransferPtrs { ptrs, from: self.me });
+        }
+    }
+
+    /// Old-root side: the new root has the pointers; demote ours to plain
+    /// path pointers (they remain on the publish path, Property 4).
+    pub(crate) fn on_transfer_ack(
+        &mut self,
+        _ctx: &mut Ctx<'_, Msg, Timer>,
+        guids: Vec<tapestry_id::Guid>,
+    ) {
+        for g in guids {
+            if let Some(entries) = self.store.entries_mut(g) {
+                for e in entries {
+                    e.is_root = false;
+                }
+            }
+        }
+    }
+
+    // ------------------ pointer redistribution (Fig. 9) --------------------
+
+    /// Re-route the pointers that used to travel through `changed` (a
+    /// departed or replaced neighbor): send each up its *new* path; the
+    /// paths converge at some node, which triggers the backward deletion
+    /// of the old path.
+    pub(crate) fn optimize_pointers_after_change(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, Timer>,
+        changed: NodeIdx,
+    ) {
+        let ptrs: Vec<WirePtr> = self
+            .store
+            .iter()
+            .map(|(g, e)| WirePtr { guid: g, server: e.server })
+            .collect();
+        let me = self.me.idx;
+        for p in ptrs {
+            let level = self.me.id.shared_prefix_len(&p.guid.id());
+            if let crate::routing_table::Hop::Forward(next, lvl) =
+                self.route_next(&p.guid.id(), level, Some(changed), false).0
+            {
+                ctx.count("optimize.republished", 1);
+                ctx.send(
+                    next.idx,
+                    Msg::OptimizePtr { ptr: p, changed, level: lvl, sender: me },
+                );
+            }
+        }
+    }
+
+    /// `OptimizeObjectPtrs` (Fig. 9): deposit the pointer arriving on the
+    /// new path; if our recorded previous hop differs from the new sender,
+    /// keep pushing up the new path and delete backwards down the old one.
+    pub(crate) fn on_optimize_ptr(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, Timer>,
+        ptr: WirePtr,
+        changed: NodeIdx,
+        level: usize,
+        sender: NodeIdx,
+    ) {
+        let old_sender = self
+            .store
+            .lookup(ptr.guid, ctx.now)
+            .find(|e| e.server.idx == ptr.server.idx)
+            .and_then(|e| e.last_hop);
+        let expires = ctx.now + self.cfg.pointer_ttl;
+        let is_root = matches!(
+            self.route_next(&ptr.guid.id(), level.min(self.cfg.levels()), Some(changed), false).0,
+            crate::routing_table::Hop::Root
+        );
+        self.store.deposit(
+            ptr.guid,
+            PtrEntry { server: ptr.server, last_hop: Some(sender), expires, is_root },
+        );
+        match old_sender {
+            Some(old) if old != sender => {
+                // Paths diverged below us: continue up the new path and
+                // clean the old one (unless the old hop *is* the changed
+                // node, which is gone anyway).
+                if let crate::routing_table::Hop::Forward(next, lvl) =
+                    self.route_next(&ptr.guid.id(), level, Some(changed), false).0
+                {
+                    ctx.send(
+                        next.idx,
+                        Msg::OptimizePtr { ptr, changed, level: lvl, sender: self.me.idx },
+                    );
+                }
+                if old != changed {
+                    ctx.send(old, Msg::DeleteBackward { ptr, changed });
+                }
+            }
+            _ => {
+                // Converged (same previous hop, or the pointer is new
+                // here): the rest of the path upward is unchanged.
+            }
+        }
+    }
+
+    /// `DeletePointersBackward` (Fig. 9): drop the stale pointer and keep
+    /// walking the recorded previous hops.
+    pub(crate) fn on_delete_backward(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, Timer>,
+        ptr: WirePtr,
+        changed: NodeIdx,
+    ) {
+        if let Some(e) = self.store.remove(ptr.guid, ptr.server.idx) {
+            ctx.count("optimize.deleted", 1);
+            if let Some(old) = e.last_hop {
+                if old != changed {
+                    ctx.send(old, Msg::DeleteBackward { ptr, changed });
+                }
+            }
+        }
+    }
+
+    // ---------------------- voluntary delete (Fig. 12) ---------------------
+
+    /// `DeleteSelf`: announce departure to every backpointer holder with
+    /// replacement candidates, and re-root the objects rooted here.
+    pub(crate) fn app_leave(&mut self, ctx: &mut Ctx<'_, Msg, Timer>) {
+        self.status = NodeStatus::Leaving;
+        let mut leave = LeaveState::default();
+
+        // Re-root objects we are root for: route a publish for each along
+        // the mesh as if we did not exist (§5.1: "examines local object
+        // pointers for which it is the root, and forwards them on to their
+        // respective surrogate nodes").
+        let rooted = self.store.rooted_guids(ctx.now);
+        let exit = self.closest_other_neighbor();
+        if let Some(first_hop) = exit {
+            for g in &rooted {
+                let servers: Vec<NodeRef> = self
+                    .store
+                    .lookup(*g, ctx.now)
+                    .map(|e| e.server)
+                    .filter(|s| s.idx != self.me.idx)
+                    .collect();
+                for server in servers {
+                    let m = RoutedMsg {
+                        kind: RoutedKind::Publish { guid: *g, server },
+                        target: tapestry_id::root_id(self.cfg.space, *g, 0),
+                        level: 0,
+                        past_hole: false,
+                        exclude: Some(self.me.idx),
+                        hops: 0,
+                        dist: 0.0,
+                        visited: vec![self.me.idx],
+                        local_branch: false,
+                    };
+                    ctx.count("leave.rerooted", 1);
+                    ctx.send(first_hop.idx, Msg::Routed(m));
+                }
+            }
+        }
+
+        // Phase 1: Leaving + replacement candidates to backpointer holders.
+        let holders: Vec<NodeRef> =
+            self.backptrs.iter().map(|(&i, &id)| NodeRef::new(i, id)).collect();
+        if holders.is_empty() {
+            leave.finished = true;
+            self.leave = Some(leave);
+            return;
+        }
+        for h in &holders {
+            // GETNEAREST(pointer, level): the holder keeps us in slot
+            // (lvl, our digit at lvl) with lvl = |GCP(holder, us)|; a true
+            // substitute must share one digit more with us (same prefix
+            // *and* same divergent digit). Property 1 applied to our own
+            // table guarantees we know such a node whenever one exists.
+            let lvl = h.id.shared_prefix_len(&self.me.id);
+            let replacements: Vec<NodeRef> = self
+                .table
+                .all_refs()
+                .into_iter()
+                .filter(|r| r.id.shared_prefix_len(&self.me.id) > lvl && r.idx != h.idx)
+                .take(self.cfg.redundancy * 2)
+                .collect();
+            leave.pending_acks.insert(h.idx);
+            ctx.send(h.idx, Msg::Leaving { me: self.me, replacements });
+        }
+        self.leave = Some(leave);
+    }
+
+    /// A neighbor announced it is leaving: drop it, adopt replacements,
+    /// republish local objects whose path may have used it, and ack.
+    pub(crate) fn on_leaving(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, Timer>,
+        who: NodeRef,
+        replacements: Vec<NodeRef>,
+    ) {
+        self.table.remove_node(who.idx);
+        self.backptrs.remove(&who.idx);
+        for r in replacements {
+            self.consider_neighbor(ctx, r);
+        }
+        // Re-route pointers that traveled through the departing node.
+        self.optimize_pointers_after_change(ctx, who.idx);
+        // Republish local objects as if the departed node were gone
+        // (keeps Property 4 on the new paths).
+        let locals: Vec<_> = self.store.local_objects().collect();
+        for g in locals {
+            self.publish_now(ctx, g);
+        }
+        ctx.send(who.idx, Msg::LeaveAck { me: self.me });
+    }
+
+    /// Departing side: count phase-1 acks; when all arrive, send the final
+    /// `RemoveLink` round and mark ourselves removable.
+    pub(crate) fn on_leave_ack(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, who: NodeRef) {
+        let Some(leave) = self.leave.as_mut() else { return };
+        leave.pending_acks.remove(&who.idx);
+        if leave.pending_acks.is_empty() && !leave.finished {
+            leave.finished = true;
+            let mut all: Vec<NodeIdx> = self.backptrs.keys().copied().collect();
+            all.extend(self.table.all_refs().iter().map(|r| r.idx));
+            all.sort_unstable();
+            all.dedup();
+            for idx in all {
+                if idx != self.me.idx {
+                    ctx.send(idx, Msg::LeaveFinal { me: self.me });
+                }
+            }
+        }
+    }
+
+    /// Final removal notice from a departing node.
+    pub(crate) fn on_leave_final(&mut self, _ctx: &mut Ctx<'_, Msg, Timer>, who: NodeRef) {
+        self.table.remove_node(who.idx);
+        self.backptrs.remove(&who.idx);
+    }
+
+    fn closest_other_neighbor(&self) -> Option<NodeRef> {
+        let mut best: Option<(f64, NodeRef)> = None;
+        for l in 0..self.table.levels() {
+            for j in 0..self.table.base() as u8 {
+                for (r, d) in self.table.slot(l, j).iter_with_dist() {
+                    if r.idx != self.me.idx && best.map_or(true, |(bd, _)| d < bd) {
+                        best = Some((d, r));
+                    }
+                }
+            }
+        }
+        best.map(|(_, r)| r)
+    }
+
+    // --------------------- involuntary delete (§5.2) -----------------------
+
+    /// Periodic heartbeat round (soft-state beacons).
+    pub(crate) fn on_heartbeat_timer(&mut self, ctx: &mut Ctx<'_, Msg, Timer>) {
+        self.start_probe_round(ctx);
+        ctx.set_timer(self.cfg.heartbeat_interval, Timer::Heartbeat);
+    }
+
+    /// Probe every distinct neighbor; missing `Pong`s by the deadline are
+    /// treated as failures (§5.2: detection by beacons or timeouts).
+    pub(crate) fn start_probe_round(&mut self, ctx: &mut Ctx<'_, Msg, Timer>) {
+        self.probe.nonce += 1;
+        let nonce = self.probe.nonce;
+        self.probe.awaiting = self.table.all_refs().iter().map(|r| r.idx).collect();
+        if self.probe.awaiting.is_empty() {
+            return;
+        }
+        for &idx in self.probe.awaiting.clone().iter() {
+            ctx.count("repair.pings", 1);
+            ctx.send(idx, Msg::Ping { nonce });
+        }
+        ctx.set_timer(self.cfg.insert_level_timeout, Timer::ProbeDeadline { nonce });
+    }
+
+    /// A neighbor answered the current round.
+    pub(crate) fn on_pong(&mut self, _ctx: &mut Ctx<'_, Msg, Timer>, from: NodeIdx, nonce: u64) {
+        if nonce == self.probe.nonce {
+            self.probe.awaiting.remove(&from);
+        }
+    }
+
+    /// Probe deadline: every silent neighbor is declared dead. Fix local
+    /// state only (the paper's lazy stance): drop it everywhere, search
+    /// for replacements for any hole it leaves, and re-route pointers.
+    pub(crate) fn on_probe_deadline(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, nonce: u64) {
+        if nonce != self.probe.nonce {
+            return;
+        }
+        let dead: Vec<NodeIdx> = std::mem::take(&mut self.probe.awaiting).into_iter().collect();
+        for d in dead {
+            ctx.count("repair.detected_dead", 1);
+            self.handle_dead_neighbor(ctx, d);
+        }
+    }
+
+    /// Remove a failed neighbor and repair the table (§5.2).
+    pub(crate) fn handle_dead_neighbor(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, dead: NodeIdx) {
+        let holes = self.table.remove_node(dead);
+        self.backptrs.remove(&dead);
+        self.optimize_pointers_after_change(ctx, dead);
+        if holes.is_empty() {
+            return;
+        }
+        // Local replacement search: ask remaining neighbors for their
+        // nearest matching nodes.
+        let op = self.next_op();
+        let peers = self.table.all_refs();
+        for (lvl, dig) in holes {
+            let prefix = self.me.id.prefix(lvl);
+            for p in &peers {
+                ctx.count("repair.queries", 1);
+                ctx.send(
+                    p.idx,
+                    Msg::FindReplacement { op, prefix, digit: dig, dead, reply_to: self.me },
+                );
+            }
+        }
+        // Local objects must be re-announced so their pointers route
+        // around the failure (soft state republish would do this
+        // eventually; doing it now shortens the unavailability window).
+        let locals: Vec<_> = self.store.local_objects().collect();
+        for g in locals {
+            self.publish_now(ctx, g);
+        }
+    }
+
+    /// Remote side of the replacement search.
+    pub(crate) fn on_find_replacement(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, Timer>,
+        op: OpId,
+        prefix: Prefix,
+        digit: u8,
+        dead: NodeIdx,
+        reply_to: NodeRef,
+    ) {
+        if !prefix.matches(&self.me.id) {
+            return; // cannot answer for a prefix we do not share
+        }
+        let lvl = prefix.len();
+        let refs: Vec<NodeRef> = if lvl < self.cfg.levels() {
+            self.table
+                .slot(lvl, digit)
+                .iter()
+                .filter(|r| r.idx != dead && r.idx != reply_to.idx)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if !refs.is_empty() {
+            ctx.send(reply_to.idx, Msg::ReplacementCandidates { op, refs });
+        }
+    }
+
+    /// Arm the recurring maintenance timers (called by the driver right
+    /// after node creation when the config enables them).
+    pub fn arm_timers(&mut self, ctx: &mut Ctx<'_, Msg, Timer>) {
+        if self.cfg.heartbeat_interval > SimTime::ZERO {
+            ctx.set_timer(self.cfg.heartbeat_interval, Timer::Heartbeat);
+        }
+    }
+
+    // ------------------ continual optimization (§6.4) ----------------------
+
+    /// One round of §6.4's fourth option — "local sharing of information":
+    /// send each level's neighbor row to the neighbors at that level, who
+    /// re-measure and adopt closer nodes. Pointer movement is deferred to
+    /// the next republish, as §6.4 allows ("such pointer movement can
+    /// often be deferred … it does not affect correctness").
+    pub(crate) fn share_tables_round(&mut self, ctx: &mut Ctx<'_, Msg, Timer>) {
+        for level in 0..self.table.levels() {
+            let refs = self.table.level_refs(level);
+            if refs.is_empty() {
+                continue;
+            }
+            for peer in &refs {
+                ctx.count("optimize.table_shares", 1);
+                ctx.send(peer.idx, Msg::ShareTable { level, refs: refs.clone() });
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Acknowledged multicast (§4.1, Fig. 8) with the watch-list and
+//! pinned-pointer extensions for simultaneous insertion (§4.4, Fig. 11).
+//!
+//! A multicast for prefix `α` reaches every node whose ID starts with `α`:
+//! each recipient forwards to one node per one-digit extension `α·j`
+//! (recursing in place when it is itself the chosen `(α, j)` node) and
+//! acknowledges its parent once all children acknowledged (Theorem 5).
+//! The collapsed self-sends of the paper's description are performed
+//! in-place here, so the message tree is exactly the spanning tree the
+//! paper derives (`k − 1` edges for `k` recipients).
+
+use crate::messages::{Msg, OpId, Timer, WirePtr};
+use crate::node::{McastSession, TapestryNode};
+use crate::refs::NodeRef;
+use tapestry_id::Prefix;
+use tapestry_sim::{Ctx, NodeIdx};
+
+impl TapestryNode {
+    /// The new node asks its surrogate to initiate the multicast
+    /// (Fig. 7 line 4).
+    pub(crate) fn on_start_multicast(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, Timer>,
+        op: OpId,
+        prefix: Prefix,
+        new_node: NodeRef,
+        watch: Vec<(usize, u8)>,
+    ) {
+        // The hole the new node fills in this (surrogate's) table.
+        let hole = self.table.slot_for(&new_node.id);
+        self.run_multicast(ctx, op, prefix, new_node, hole, watch, None);
+    }
+
+    /// A multicast branch arrived from `from`.
+    pub(crate) fn on_multicast(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, Timer>,
+        from: NodeIdx,
+        op: OpId,
+        prefix: Prefix,
+        new_node: NodeRef,
+        hole: Option<(usize, u8)>,
+        watch: Vec<(usize, u8)>,
+    ) {
+        if self.mcast_done.contains(&op) || self.mcast.contains_key(&op) {
+            // Duplicate (pinned-pointer forwarding can deliver a session
+            // twice); the function already ran here — acknowledge so the
+            // sender's count stays correct.
+            ctx.send(from, Msg::MulticastAck { op });
+            return;
+        }
+        self.run_multicast(ctx, op, prefix, new_node, hole, watch, Some(from));
+    }
+
+    fn run_multicast(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, Timer>,
+        op: OpId,
+        prefix: Prefix,
+        new_node: NodeRef,
+        hole: Option<(usize, u8)>,
+        watch: Vec<(usize, u8)>,
+        parent: Option<NodeIdx>,
+    ) {
+        ctx.count("multicast.recipients", 1);
+        // ---- apply FUNCTION: SendID + pin + watch scan + LinkAndXferRoot
+        if new_node.idx != self.me.idx {
+            ctx.send(new_node.idx, Msg::Hello { op, me: self.me });
+            // Pin the new node in its slot for the duration of the session
+            // (§4.4): it must not be evicted, and further multicasts
+            // through the slot must reach it.
+            let dist = ctx.distance_to(new_node.idx);
+            self.table.add_pinned(new_node, dist);
+            ctx.send(new_node.idx, Msg::AddedYou { me: self.me });
+            self.link_and_xfer_root(ctx, new_node);
+        }
+        let watch = self.serve_watch_list(ctx, new_node, op, watch);
+
+        // ---- forward along one unpinned + all pinned pointers per child
+        let mut children: Vec<(Prefix, NodeRef)> = Vec::new();
+        self.gather_children(prefix, &mut children);
+        children.retain(|(_, r)| r.idx != self.me.idx && r.idx != new_node.idx);
+        children.sort_by_key(|(_, r)| r.idx);
+        children.dedup_by_key(|(_, r)| r.idx);
+
+        let pending = children.len();
+        self.mcast.insert(op, McastSession { parent, pending, new_node });
+        for (p, r) in children {
+            ctx.count("multicast.edges", 1);
+            ctx.send(
+                r.idx,
+                Msg::Multicast { op, prefix: p, new_node, hole, watch: watch.clone() },
+            );
+        }
+        if pending == 0 {
+            self.complete_session(ctx, op);
+        }
+    }
+
+    /// Walk the routing table gathering one recipient per one-digit
+    /// extension, recursing through extensions where this node is itself
+    /// the chosen representative (the paper's self-sends, collapsed).
+    fn gather_children(&self, prefix: Prefix, out: &mut Vec<(Prefix, NodeRef)>) {
+        let l = prefix.len();
+        if l >= self.table.levels() {
+            return;
+        }
+        for j in 0..self.table.base() as u8 {
+            let slot = self.table.slot(l, j);
+            if slot.is_empty() {
+                continue;
+            }
+            let ext = prefix.extend(j);
+            match slot.first_unpinned() {
+                Some(u) if u.idx == self.me.idx => self.gather_children(ext, out),
+                Some(u) => out.push((ext, u)),
+                None => {}
+            }
+            for p in slot.pinned() {
+                if p.idx != self.me.idx {
+                    out.push((ext, p));
+                }
+            }
+        }
+    }
+
+    /// Fig. 11 watch list: report nodes that fill the new node's watched
+    /// holes, and strip served entries from the forwarded list.
+    fn serve_watch_list(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, Timer>,
+        new_node: NodeRef,
+        op: OpId,
+        watch: Vec<(usize, u8)>,
+    ) -> Vec<(usize, u8)> {
+        if watch.is_empty() {
+            return watch;
+        }
+        let shared = self.me.id.shared_prefix_len(&new_node.id);
+        let mut found = Vec::new();
+        let mut remaining = Vec::new();
+        for (lvl, dig) in watch {
+            // We can only answer for slots whose prefix we share with the
+            // new node.
+            let mut served = false;
+            if lvl <= shared {
+                let refs: Vec<NodeRef> = self
+                    .table
+                    .slot(lvl, dig)
+                    .iter()
+                    .filter(|r| r.idx != new_node.idx)
+                    .collect();
+                if !refs.is_empty() {
+                    found.extend(refs);
+                    served = true;
+                }
+            }
+            if !served {
+                remaining.push((lvl, dig));
+            }
+        }
+        if !found.is_empty() {
+            found.sort();
+            found.dedup();
+            ctx.send(new_node.idx, Msg::Candidates { op, refs: found });
+        }
+        remaining
+    }
+
+    /// `LinkAndXferRoot` (Fig. 7): hand the new node every stored pointer
+    /// whose route now passes through it — pointers we were *root* for
+    /// (correctness: the new node may be the new root) as well as plain
+    /// path pointers (Property 4: the new node is now on the publish
+    /// path). We keep serving until the new holder acknowledges (§4.3:
+    /// "the old root not delete pointers until the new root has
+    /// acknowledged receiving them" — and in Tapestry the old copies
+    /// simply remain as path pointers afterwards).
+    fn link_and_xfer_root(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, new_node: NodeRef) {
+        let mut ptrs: Vec<WirePtr> = Vec::new();
+        let guids: Vec<tapestry_id::Guid> = {
+            let mut v: Vec<_> = self.store.iter().map(|(g, _)| g).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        for guid in guids {
+            let level = self.me.id.shared_prefix_len(&guid.id());
+            if let crate::routing_table::Hop::Forward(p, _) =
+                self.route_next(&guid.id(), level, None, false).0
+            {
+                if p.idx == new_node.idx {
+                    for (g, e) in self.store.iter() {
+                        if g == guid {
+                            ptrs.push(WirePtr { guid: g, server: e.server });
+                        }
+                    }
+                }
+            }
+        }
+        if !ptrs.is_empty() {
+            ctx.count("insert.root_transfers", ptrs.len() as u64);
+            ctx.send(new_node.idx, Msg::TransferPtrs { ptrs, from: self.me });
+        }
+    }
+
+    /// A child's subtree finished (Theorem 5 ack).
+    pub(crate) fn on_multicast_ack(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, op: OpId) {
+        let done = match self.mcast.get_mut(&op) {
+            Some(s) => {
+                s.pending = s.pending.saturating_sub(1);
+                s.pending == 0
+            }
+            None => false,
+        };
+        if done {
+            self.complete_session(ctx, op);
+        }
+    }
+
+    fn complete_session(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, op: OpId) {
+        let Some(s) = self.mcast.remove(&op) else { return };
+        self.mcast_done.insert(op);
+        // Unpin: the session is acknowledged here, so the new node is now
+        // reachable through the regular multicast tree.
+        self.table.unpin(&s.new_node);
+        match s.parent {
+            Some(p) => ctx.send(p, Msg::MulticastAck { op }),
+            None => ctx.send(s.new_node.idx, Msg::MulticastDone { op }),
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! The simulation driver: owns the event engine and a population of
+//! Tapestry nodes, provides the application-facing API (publish / locate /
+//! insert / leave / kill), the static "preprocessed" construction the PRR
+//! scheme assumes, and the invariant checkers used by tests and
+//! experiments (Properties 1, 2 and 4; Theorem 2 root uniqueness).
+
+use crate::config::TapestryConfig;
+use crate::messages::{Msg, OpId};
+use crate::node::{NodeStatus, TapestryNode};
+use crate::refs::NodeRef;
+use crate::routing_table::Hop;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashSet};
+use tapestry_id::{root_id, Guid, Id};
+use tapestry_metric::MetricSpace;
+use tapestry_sim::{Engine, NodeIdx, SimTime};
+
+/// Outcome of one locate operation, as observed at its origin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocateResult {
+    /// Object sought.
+    pub guid: Guid,
+    /// Operation id.
+    pub op: OpId,
+    /// Server found (`None`: object unreachable / unpublished).
+    pub server: Option<NodeRef>,
+    /// Application-level hops the query traveled.
+    pub hops: u32,
+    /// Metric distance the query traveled (origin → pointer → server).
+    pub distance: f64,
+    /// Whether the query went all the way to the root.
+    pub reached_root: bool,
+    /// When the query was issued.
+    pub issued_at: SimTime,
+    /// When the result arrived back at the origin.
+    pub completed_at: SimTime,
+}
+
+impl LocateResult {
+    /// Stretch relative to the distance `direct` from origin to the
+    /// nearest replica (the paper's definition). `None` when the query
+    /// failed or originated at the replica itself.
+    pub fn stretch(&self, direct: f64) -> Option<f64> {
+        if self.server.is_none() || direct <= 0.0 {
+            return None;
+        }
+        Some(self.distance / direct)
+    }
+}
+
+/// Size summary of a network (space accounting for Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkSnapshot {
+    /// Live nodes.
+    pub n: usize,
+    /// Mean routing-table entries per node (excluding self entries).
+    pub avg_table_entries: f64,
+    /// Largest routing table.
+    pub max_table_entries: usize,
+    /// Mean stored object pointers per node.
+    pub avg_object_ptrs: f64,
+    /// Largest object-pointer store.
+    pub max_object_ptrs: usize,
+}
+
+/// A Tapestry deployment over a metric space, with the driving event
+/// engine and deterministic identifier assignment.
+pub struct TapestryNetwork {
+    engine: Engine<TapestryNode>,
+    cfg: TapestryConfig,
+    ids: Vec<Id>,
+    members: BTreeSet<NodeIdx>,
+    rng: StdRng,
+    seed: u64,
+    /// Event budget for each `run_to_idle` call.
+    pub max_events_per_op: u64,
+}
+
+impl TapestryNetwork {
+    /// Statically build a fully populated network: every point of the
+    /// metric space becomes a node and all routing tables are constructed
+    /// from global knowledge (the PRR preprocessing step the paper's
+    /// dynamic algorithms replace).
+    pub fn build(cfg: TapestryConfig, space: Box<dyn MetricSpace>, seed: u64) -> Self {
+        let n = space.len();
+        let mut net = Self::empty(cfg, space, seed);
+        let all: Vec<NodeIdx> = (0..n).collect();
+        net.static_populate(&all);
+        net
+    }
+
+    /// Statically build the first `n0` points; the remaining points can
+    /// join later through the dynamic insertion protocol.
+    pub fn bootstrap(
+        cfg: TapestryConfig,
+        space: Box<dyn MetricSpace>,
+        seed: u64,
+        n0: usize,
+    ) -> Self {
+        assert!(n0 >= 1, "need at least one bootstrap node");
+        let mut net = Self::empty(cfg, space, seed);
+        let initial: Vec<NodeIdx> = (0..n0.min(net.ids.len())).collect();
+        net.static_populate(&initial);
+        net
+    }
+
+    fn empty(cfg: TapestryConfig, space: Box<dyn MetricSpace>, seed: u64) -> Self {
+        let n = space.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Unique uniformly random node IDs (the paper assumes uniform,
+        // collision-free names).
+        let mut seen = HashSet::with_capacity(n);
+        let mut ids = Vec::with_capacity(n);
+        while ids.len() < n {
+            let id = Id::random(cfg.space, &mut rng);
+            if seen.insert(id) {
+                ids.push(id);
+            }
+        }
+        TapestryNetwork {
+            engine: Engine::new(space, SimTime(1)),
+            cfg,
+            ids,
+            members: BTreeSet::new(),
+            rng,
+            seed,
+            max_events_per_op: 20_000_000,
+        }
+    }
+
+    /// Global-knowledge table construction for `members` (Properties 1
+    /// and 2 by construction), including backpointers.
+    fn static_populate(&mut self, members: &[NodeIdx]) {
+        for &idx in members {
+            let node = TapestryNode::new_active(self.cfg, self.ref_of(idx), self.seed);
+            self.engine.add_node(idx, node);
+            self.members.insert(idx);
+        }
+        let refs: Vec<NodeRef> = members.iter().map(|&i| self.ref_of(i)).collect();
+        for &a in members {
+            let a_ref = self.ref_of(a);
+            for &b_ref in &refs {
+                if b_ref.idx == a {
+                    continue;
+                }
+                let d = self.engine.metric().distance(a, b_ref.idx);
+                self.engine
+                    .node_mut(a)
+                    .expect("just added")
+                    .table_mut()
+                    .add_if_closer(b_ref, d, self.cfg.redundancy);
+            }
+            // Record backpointers for every forward pointer.
+            let fwd = self.engine.node(a).expect("added").table().all_refs();
+            for r in fwd {
+                if let Some(peer) = self.engine.node_mut(r.idx) {
+                    peer.add_backpointer(a_ref);
+                }
+            }
+        }
+    }
+
+    // ------------------------------ accessors ------------------------------
+
+    /// The configuration in force.
+    pub fn config(&self) -> &TapestryConfig {
+        &self.cfg
+    }
+
+    /// Indices of live member nodes.
+    pub fn node_ids(&self) -> Vec<NodeIdx> {
+        self.members.iter().copied().collect()
+    }
+
+    /// Number of live members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no node is alive.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The overlay identifier assigned to point `idx`.
+    pub fn id_of(&self, idx: NodeIdx) -> Id {
+        self.ids[idx]
+    }
+
+    /// Name + address pair for point `idx`.
+    pub fn ref_of(&self, idx: NodeIdx) -> NodeRef {
+        NodeRef::new(idx, self.ids[idx])
+    }
+
+    /// Read a node's state.
+    pub fn node(&self, idx: NodeIdx) -> Option<&TapestryNode> {
+        self.engine.node(idx)
+    }
+
+    /// Mutate a node's state (test setup).
+    pub fn node_mut(&mut self, idx: NodeIdx) -> Option<&mut TapestryNode> {
+        self.engine.node_mut(idx)
+    }
+
+    /// The underlying engine (stats, clock).
+    pub fn engine(&self) -> &Engine<TapestryNode> {
+        &self.engine
+    }
+
+    /// Mutable engine access (custom drivers).
+    pub fn engine_mut(&mut self) -> &mut Engine<TapestryNode> {
+        &mut self.engine
+    }
+
+    /// Draw a uniformly random GUID.
+    pub fn random_guid(&mut self) -> Guid {
+        Guid::random(self.cfg.space, &mut self.rng)
+    }
+
+    /// Draw a random live member.
+    pub fn random_member(&mut self) -> NodeIdx {
+        let v = self.node_ids();
+        v[self.rng.gen_range(0..v.len())]
+    }
+
+    /// Drain all scheduled events (bounded by `max_events_per_op`).
+    pub fn run_to_idle(&mut self) -> u64 {
+        self.engine.run_until_idle(self.max_events_per_op)
+    }
+
+    /// Advance simulated time to `deadline`, processing due events.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.engine.run_until(deadline)
+    }
+
+    // --------------------------- application API ---------------------------
+
+    /// Publish `guid` from storage server `server` and drain the network.
+    pub fn publish(&mut self, server: NodeIdx, guid: Guid) {
+        self.publish_async(server, guid);
+        self.run_to_idle();
+    }
+
+    /// Publish without draining (concurrent-operation experiments).
+    pub fn publish_async(&mut self, server: NodeIdx, guid: Guid) {
+        assert!(self.engine.alive(server), "publish from dead node");
+        self.engine.inject(server, Msg::AppPublish { guid });
+    }
+
+    /// Locate `guid` from `origin`, drain, and return the result.
+    pub fn locate(&mut self, origin: NodeIdx, guid: Guid) -> Option<LocateResult> {
+        self.locate_async(origin, guid);
+        self.run_to_idle();
+        self.take_results(origin).into_iter().rev().find(|r| r.guid == guid)
+    }
+
+    /// Issue a locate without draining.
+    pub fn locate_async(&mut self, origin: NodeIdx, guid: Guid) {
+        assert!(self.engine.alive(origin), "locate from dead node");
+        self.engine.inject(origin, Msg::AppLocate { guid });
+    }
+
+    /// Collect finished locate results queued at `origin`.
+    pub fn take_results(&mut self, origin: NodeIdx) -> Vec<LocateResult> {
+        self.engine
+            .node_mut(origin)
+            .map(|n| n.take_locate_results())
+            .unwrap_or_default()
+    }
+
+    /// Dynamically insert the node at point `idx` (Fig. 7) through a
+    /// random gateway, drain the network, and report success.
+    pub fn insert_node(&mut self, idx: NodeIdx) -> bool {
+        let gw = self.random_member();
+        self.insert_node_via(idx, gw);
+        self.run_to_idle();
+        self.finish_insert_bookkeeping(idx)
+    }
+
+    /// Start a dynamic insertion without draining (simultaneous-insertion
+    /// experiments drive several of these at once).
+    pub fn insert_node_via(&mut self, idx: NodeIdx, gateway: NodeIdx) {
+        assert!(!self.engine.alive(idx), "point already occupied");
+        assert!(self.engine.alive(gateway), "gateway not alive");
+        let mut cfg = self.cfg;
+        if cfg.list_size_k.is_none() {
+            cfg.list_size_k = Some(self.cfg.k_for(self.members.len() + 1));
+        }
+        let node = TapestryNode::new_inserting(cfg, self.ref_of(idx), self.seed);
+        self.engine.add_node(idx, node);
+        self.engine.inject(idx, Msg::StartInsert { gateway: self.ref_of(gateway) });
+    }
+
+    /// After draining, account a dynamically inserted node as a member if
+    /// its insertion completed.
+    pub fn finish_insert_bookkeeping(&mut self, idx: NodeIdx) -> bool {
+        let ok = self
+            .engine
+            .node(idx)
+            .is_some_and(|n| n.status() == NodeStatus::Active);
+        if ok {
+            self.members.insert(idx);
+        }
+        ok
+    }
+
+    /// Voluntary departure (Fig. 12): run the two-phase protocol, then
+    /// remove the node from the engine.
+    pub fn leave(&mut self, idx: NodeIdx) -> bool {
+        assert!(self.engine.alive(idx));
+        self.engine.inject(idx, Msg::AppLeave);
+        self.run_to_idle();
+        let done = self.engine.node(idx).is_some_and(|n| n.leave_finished());
+        self.engine.remove_node(idx);
+        self.members.remove(&idx);
+        done
+    }
+
+    /// Involuntary failure: the node vanishes without warning (§5.2).
+    pub fn kill(&mut self, idx: NodeIdx) {
+        self.engine.remove_node(idx);
+        self.members.remove(&idx);
+    }
+
+    /// Trigger one failure-detection probe round on every live node and
+    /// drain (the experiments' stand-in for periodic heartbeats).
+    pub fn probe_all(&mut self) {
+        for idx in self.node_ids() {
+            self.engine.inject(idx, Msg::AppProbe);
+        }
+        self.run_to_idle();
+    }
+
+    /// Run one §6.4 continual-optimization round on every live node:
+    /// each node shares its per-level neighbor rows with the neighbors at
+    /// that level, restoring Property 2 quality degraded by churn.
+    pub fn optimize_all(&mut self) {
+        for idx in self.node_ids() {
+            self.engine.inject(idx, Msg::AppOptimize);
+        }
+        self.run_to_idle();
+    }
+
+    /// Locate with retries (Observation 1): with `roots_per_object > 1`
+    /// each attempt picks a random root, so queries tolerate faults on
+    /// individual root paths. Returns the first successful result.
+    pub fn locate_retry(
+        &mut self,
+        origin: NodeIdx,
+        guid: Guid,
+        attempts: usize,
+    ) -> Option<LocateResult> {
+        for _ in 0..attempts.max(1) {
+            match self.locate(origin, guid) {
+                Some(r) if r.server.is_some() => return Some(r),
+                other => {
+                    let _ = other; // lost or not-found: retry on a fresh root
+                }
+            }
+        }
+        None
+    }
+
+    // ---------------------------- ground truth -----------------------------
+
+    /// Walk surrogate routing locally (no messages) from `from` toward
+    /// `target`, returning the path including both endpoints.
+    pub fn surrogate_path(&self, from: NodeIdx, target: &Id) -> Vec<NodeIdx> {
+        let mut path = vec![from];
+        let mut cur = from;
+        let mut level = 0;
+        let mut past_hole = false;
+        for _ in 0..(self.cfg.levels() * self.members.len().max(2)) {
+            let Some(node) = self.engine.node(cur) else { break };
+            match node.route_next(target, level, None, past_hole) {
+                (Hop::Forward(p, lvl), ph) => {
+                    cur = p.idx;
+                    level = lvl;
+                    past_hole = ph;
+                    path.push(cur);
+                }
+                (Hop::Root, _) => break,
+            }
+        }
+        path
+    }
+
+    /// The root (surrogate) of `target` as seen from `from`.
+    pub fn root_from(&self, from: NodeIdx, target: &Id) -> NodeIdx {
+        *self.surrogate_path(from, target).last().expect("path has origin")
+    }
+
+    /// The unique root of `guid`'s `i`-th root identifier, computed from
+    /// the lowest-indexed member (Theorem 2 makes the choice irrelevant).
+    pub fn root_of(&self, guid: Guid, root_index: usize) -> NodeIdx {
+        let start = *self.members.iter().next().expect("non-empty network");
+        self.root_from(start, &root_id(self.cfg.space, guid, root_index))
+    }
+
+    /// Distance from `from` to the nearest live replica of `guid`
+    /// (denominator of the stretch metric).
+    pub fn nearest_replica_distance(&self, from: NodeIdx, guid: Guid) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for &m in &self.members {
+            if self.engine.node(m).is_some_and(|n| n.store().has_local(guid)) {
+                let d = self.engine.metric().distance(from, m);
+                best = Some(best.map_or(d, |b: f64| b.min(d)));
+            }
+        }
+        best
+    }
+
+    // ----------------------------- invariants ------------------------------
+
+    /// Property 1 violations: `(node, level, digit)` slots that are empty
+    /// even though a matching member exists.
+    pub fn check_property1(&self) -> Vec<(NodeIdx, usize, u8)> {
+        let mut bad = Vec::new();
+        for &a in &self.members {
+            let Some(node) = self.engine.node(a) else { continue };
+            let aid = self.ids[a];
+            for &b in &self.members {
+                if a == b {
+                    continue;
+                }
+                let bid = self.ids[b];
+                let p = aid.shared_prefix_len(&bid);
+                if p >= self.cfg.levels() {
+                    continue;
+                }
+                let j = bid.digit(p);
+                if node.table().slot(p, j).is_empty() {
+                    bad.push((a, p, j));
+                }
+            }
+        }
+        bad.sort_unstable();
+        bad.dedup();
+        bad
+    }
+
+    /// Property 2 report: over all filled slots, how many primaries are
+    /// the true closest matching member. Dynamic insertion is randomized,
+    /// so tests assert a high fraction rather than perfection.
+    pub fn check_property2(&self) -> (usize, usize) {
+        let mut optimal = 0;
+        let mut total = 0;
+        for &a in &self.members {
+            let Some(node) = self.engine.node(a) else { continue };
+            let aid = self.ids[a];
+            for l in 0..self.cfg.levels() {
+                for j in 0..self.cfg.base() as u8 {
+                    let slot = node.table().slot(l, j);
+                    let Some(primary) = slot.primary(None) else { continue };
+                    if primary.idx == a {
+                        continue; // self entry
+                    }
+                    // True closest member with prefix aid[0..l]·j.
+                    let best = self
+                        .members
+                        .iter()
+                        .filter(|&&b| b != a)
+                        .filter(|&&b| {
+                            let bid = self.ids[b];
+                            bid.shared_prefix_len(&aid) == l && bid.digit(l) == j
+                        })
+                        .min_by(|&&x, &&y| {
+                            self.engine
+                                .metric()
+                                .distance(a, x)
+                                .partial_cmp(&self.engine.metric().distance(a, y))
+                                .unwrap()
+                        });
+                    if let Some(&best) = best {
+                        total += 1;
+                        let dp = self.engine.metric().distance(a, primary.idx);
+                        let db = self.engine.metric().distance(a, best);
+                        if dp <= db + 1e-9 {
+                            optimal += 1;
+                        }
+                    }
+                }
+            }
+        }
+        (optimal, total)
+    }
+
+    /// Property 4 violations: `(server, guid, node-on-path-without-ptr)`.
+    /// Every node on the path from a publisher to the object's root must
+    /// hold a pointer.
+    pub fn check_property4(&self) -> Vec<(NodeIdx, Guid, NodeIdx)> {
+        let now = self.engine.now();
+        let mut bad = Vec::new();
+        for &s in &self.members {
+            let Some(server) = self.engine.node(s) else { continue };
+            let locals: Vec<Guid> = server.store().local_objects().collect();
+            for guid in locals {
+                for i in 0..self.cfg.roots_per_object {
+                    let target = root_id(self.cfg.space, guid, i);
+                    for &hop in &self.surrogate_path(s, &target) {
+                        let has = self.engine.node(hop).is_some_and(|n| {
+                            n.store().lookup(guid, now).any(|e| e.server.idx == s)
+                        });
+                        if !has {
+                            bad.push((s, guid, hop));
+                        }
+                    }
+                }
+            }
+        }
+        bad
+    }
+
+    /// Theorem 2 check: every member reaches the same root for `target`.
+    /// Returns the set of distinct roots observed (singleton = pass).
+    pub fn distinct_roots(&self, target: &Id) -> BTreeSet<NodeIdx> {
+        self.members.iter().map(|&m| self.root_from(m, target)).collect()
+    }
+
+    /// Space accounting for Table 1.
+    pub fn snapshot(&self) -> NetworkSnapshot {
+        let mut tot_t = 0usize;
+        let mut max_t = 0usize;
+        let mut tot_p = 0usize;
+        let mut max_p = 0usize;
+        for &m in &self.members {
+            if let Some(n) = self.engine.node(m) {
+                let t = n.table().entry_count();
+                let p = n.store().ptr_count();
+                tot_t += t;
+                max_t = max_t.max(t);
+                tot_p += p;
+                max_p = max_p.max(p);
+            }
+        }
+        let n = self.members.len().max(1);
+        NetworkSnapshot {
+            n: self.members.len(),
+            avg_table_entries: tot_t as f64 / n as f64,
+            max_table_entries: max_t,
+            avg_object_ptrs: tot_p as f64 / n as f64,
+            max_object_ptrs: max_p,
+        }
+    }
+}

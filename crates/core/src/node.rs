@@ -1,0 +1,308 @@
+use crate::config::TapestryConfig;
+use crate::messages::{Msg, OpId, Timer};
+use crate::network::LocateResult;
+use crate::object_store::ObjectStore;
+use crate::refs::NodeRef;
+use crate::routing_table::RoutingTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use tapestry_id::Id;
+use tapestry_sim::{Actor, Ctx, NodeIdx};
+
+/// Lifecycle of a Tapestry node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Mid-insertion (Fig. 7); unknown-object queries are forwarded to the
+    /// surrogate per Fig. 10.
+    Inserting,
+    /// Fully integrated (a *core node* in the sense of Definition 1 once
+    /// its multicast completed).
+    Active,
+    /// Voluntary departure in progress (Fig. 12).
+    Leaving,
+}
+
+/// State of an in-progress insertion on the node being inserted.
+#[derive(Debug)]
+pub(crate) struct InsertState {
+    pub op: OpId,
+    pub surrogate: Option<NodeRef>,
+    pub shared_len: usize,
+    /// `SendID` announcements collected from the multicast.
+    pub hellos: Vec<NodeRef>,
+    /// Level currently being fetched by `GetNextList`.
+    pub level: usize,
+    /// Current closest-k list.
+    pub list: Vec<NodeRef>,
+    /// Nodes whose `Pointers` reply is still outstanding.
+    pub pending: BTreeSet<NodeIdx>,
+    /// Refs accumulated for the level being fetched.
+    pub acc: Vec<NodeRef>,
+    /// List size `k` (fixed at insertion start).
+    pub k: usize,
+}
+
+/// State of one acknowledged-multicast session on a participant.
+#[derive(Debug)]
+pub(crate) struct McastSession {
+    /// Where to send our ack (None = we initiated for the new node).
+    pub parent: Option<NodeIdx>,
+    /// Outstanding child acknowledgments.
+    pub pending: usize,
+    /// The node this multicast introduces.
+    pub new_node: NodeRef,
+}
+
+/// State of a voluntary departure on the departing node.
+#[derive(Debug, Default)]
+pub(crate) struct LeaveState {
+    /// Backpointer holders that have not yet acknowledged `Leaving`.
+    pub pending_acks: BTreeSet<NodeIdx>,
+    /// Set once `LeaveFinal` went out; the driver may now remove us.
+    pub finished: bool,
+}
+
+/// Failure-detection state (§5.2).
+#[derive(Debug, Default)]
+pub(crate) struct ProbeState {
+    /// Nonce of the outstanding round.
+    pub nonce: u64,
+    /// Neighbors that have not answered the outstanding round.
+    pub awaiting: BTreeSet<NodeIdx>,
+}
+
+/// A Tapestry overlay node: routing mesh, object pointers and all
+/// protocol state, driven as a deterministic actor.
+pub struct TapestryNode {
+    pub(crate) cfg: TapestryConfig,
+    pub(crate) me: NodeRef,
+    pub(crate) status: NodeStatus,
+    pub(crate) table: RoutingTable,
+    /// Nodes that keep us in their routing table (§2.1 backpointers).
+    pub(crate) backptrs: BTreeMap<NodeIdx, Id>,
+    pub(crate) store: ObjectStore,
+    pub(crate) op_counter: u64,
+    pub(crate) insert: Option<InsertState>,
+    pub(crate) mcast: HashMap<OpId, McastSession>,
+    /// Sessions already completed (suppresses duplicate multicasts, §4.4).
+    pub(crate) mcast_done: HashSet<OpId>,
+    pub(crate) leave: Option<LeaveState>,
+    pub(crate) probe: ProbeState,
+    /// Completed locate operations awaiting collection by the driver.
+    pub(crate) locate_results: Vec<LocateResult>,
+    /// Locates issued here and still in flight: op → (guid, issue time).
+    pub(crate) pending_locates: HashMap<OpId, (tapestry_id::Guid, tapestry_sim::SimTime)>,
+    pub(crate) rng: StdRng,
+}
+
+impl TapestryNode {
+    /// Create a node in `Active` state with only self entries (used for
+    /// bootstrap and by the static builder, which then fills the table).
+    pub fn new_active(cfg: TapestryConfig, me: NodeRef, seed: u64) -> Self {
+        Self::with_status(cfg, me, seed, NodeStatus::Active)
+    }
+
+    /// Create a node that will join dynamically (`StartInsert` expected).
+    pub fn new_inserting(cfg: TapestryConfig, me: NodeRef, seed: u64) -> Self {
+        Self::with_status(cfg, me, seed, NodeStatus::Inserting)
+    }
+
+    fn with_status(cfg: TapestryConfig, me: NodeRef, seed: u64, status: NodeStatus) -> Self {
+        TapestryNode {
+            cfg,
+            me,
+            status,
+            table: RoutingTable::new(me, cfg.base(), cfg.levels()),
+            backptrs: BTreeMap::new(),
+            store: ObjectStore::new(),
+            op_counter: 0,
+            insert: None,
+            mcast: HashMap::new(),
+            mcast_done: HashSet::new(),
+            leave: None,
+            probe: ProbeState::default(),
+            locate_results: Vec::new(),
+            pending_locates: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed ^ (me.idx as u64).wrapping_mul(0x9E37_79B9)),
+        }
+    }
+
+    /// This node's name and address.
+    pub fn me(&self) -> NodeRef {
+        self.me
+    }
+
+    /// Current lifecycle status.
+    pub fn status(&self) -> NodeStatus {
+        self.status
+    }
+
+    /// The routing mesh (read-only; used by invariant checks and tests).
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// Mutable mesh access for the static builder.
+    pub fn table_mut(&mut self) -> &mut RoutingTable {
+        &mut self.table
+    }
+
+    /// Object pointers and local replicas.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Mutable store access for the static builder / test setup.
+    pub fn store_mut(&mut self) -> &mut ObjectStore {
+        &mut self.store
+    }
+
+    /// Backpointer set (who references us).
+    pub fn backpointers(&self) -> impl Iterator<Item = NodeRef> + '_ {
+        self.backptrs.iter().map(|(&idx, &id)| NodeRef::new(idx, id))
+    }
+
+    /// Record a backpointer (static builder).
+    pub fn add_backpointer(&mut self, r: NodeRef) {
+        self.backptrs.insert(r.idx, r.id);
+    }
+
+    /// Voluntary departure finished — safe to remove from the engine.
+    pub fn leave_finished(&self) -> bool {
+        self.leave.as_ref().is_some_and(|l| l.finished)
+    }
+
+    /// Drain completed locate operations.
+    pub fn take_locate_results(&mut self) -> Vec<LocateResult> {
+        std::mem::take(&mut self.locate_results)
+    }
+
+    /// One step of the configured surrogate-routing scheme (§2.3):
+    /// dispatches between Tapestry-native and distributed PRR-like
+    /// routing, threading the PRR-like "past the first hole" state.
+    pub fn route_next(
+        &self,
+        target: &tapestry_id::Id,
+        level: usize,
+        exclude: Option<NodeIdx>,
+        past_hole: bool,
+    ) -> (crate::routing_table::Hop, bool) {
+        match self.cfg.routing {
+            crate::config::RoutingScheme::TapestryNative => {
+                (self.table.next_hop(target, level, exclude), past_hole)
+            }
+            crate::config::RoutingScheme::PrrLike => {
+                self.table.next_hop_prr(target, level, exclude, past_hole)
+            }
+        }
+    }
+
+    /// Fresh operation id.
+    pub(crate) fn next_op(&mut self) -> OpId {
+        self.op_counter += 1;
+        OpId::new(self.me.idx, self.op_counter)
+    }
+
+    /// Measure, insert into the routing table, and maintain backpointers
+    /// (`AddToTableIfCloser` with the §2.1 backpointer discipline).
+    pub(crate) fn consider_neighbor(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, r: NodeRef) {
+        if r.idx == self.me.idx {
+            return;
+        }
+        let dist = ctx.distance_to(r.idx);
+        match self.table.add_if_closer(r, dist, self.cfg.redundancy) {
+            crate::neighbor_set::AddOutcome::Added { evicted, .. } => {
+                ctx.send(r.idx, Msg::AddedYou { me: self.me });
+                if let Some(e) = evicted {
+                    if !self.table.contains(e.idx) {
+                        ctx.send(e.idx, Msg::RemovedYou { me: self.me });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Actor for TapestryNode {
+    type Msg = Msg;
+    type Timer = Timer;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, from: NodeIdx, msg: Msg) {
+        match msg {
+            Msg::Routed(m) => self.handle_routed(ctx, Some(from), m),
+            Msg::LocateDone { op, server, hops, dist, reached_root } => {
+                self.on_locate_done(ctx, op, server, hops, dist, reached_root)
+            }
+            Msg::SurrogateIs { op, surrogate } => self.on_surrogate_is(ctx, op, surrogate),
+            Msg::StartInsert { gateway } => self.start_insert(ctx, gateway),
+            Msg::GetTableCopy { op, new_node } => self.on_get_table_copy(ctx, op, new_node),
+            Msg::TableCopy { op, refs, shared_len } => {
+                self.on_table_copy(ctx, op, refs, shared_len)
+            }
+            Msg::StartMulticast { op, prefix, new_node, watch } => {
+                self.on_start_multicast(ctx, op, prefix, new_node, watch)
+            }
+            Msg::Multicast { op, prefix, new_node, hole, watch } => {
+                self.on_multicast(ctx, from, op, prefix, new_node, hole, watch)
+            }
+            Msg::MulticastAck { op } => self.on_multicast_ack(ctx, op),
+            Msg::MulticastDone { op } => self.on_multicast_done(ctx, op),
+            Msg::Hello { op, me } => self.on_hello(ctx, op, me),
+            Msg::Candidates { op, refs } => self.on_candidates(ctx, op, refs),
+            Msg::GetPointers { op, level, new_node } => {
+                self.on_get_pointers(ctx, op, level, new_node)
+            }
+            Msg::Pointers { op, level, refs } => self.on_pointers(ctx, from, op, level, refs),
+            Msg::AddedYou { me } => {
+                self.backptrs.insert(me.idx, me.id);
+                self.consider_neighbor(ctx, me);
+            }
+            Msg::RemovedYou { me } => {
+                self.backptrs.remove(&me.idx);
+            }
+            Msg::TransferPtrs { ptrs, from: sender } => self.on_transfer_ptrs(ctx, ptrs, sender),
+            Msg::TransferAck { guids } => self.on_transfer_ack(ctx, guids),
+            Msg::OptimizePtr { ptr, changed, level, sender } => {
+                self.on_optimize_ptr(ctx, ptr, changed, level, sender)
+            }
+            Msg::DeleteBackward { ptr, changed } => self.on_delete_backward(ctx, ptr, changed),
+            Msg::Leaving { me, replacements } => self.on_leaving(ctx, me, replacements),
+            Msg::LeaveFinal { me } => self.on_leave_final(ctx, me),
+            Msg::LeaveAck { me } => self.on_leave_ack(ctx, me),
+            Msg::Ping { nonce } => ctx.send(from, Msg::Pong { nonce }),
+            Msg::Pong { nonce } => self.on_pong(ctx, from, nonce),
+            Msg::FindReplacement { op, prefix, digit, dead, reply_to } => {
+                self.on_find_replacement(ctx, op, prefix, digit, dead, reply_to)
+            }
+            Msg::ReplacementCandidates { op: _, refs } => {
+                for r in refs {
+                    self.consider_neighbor(ctx, r);
+                }
+            }
+            Msg::AppPublish { guid } => self.app_publish(ctx, guid),
+            Msg::AppLocate { guid } => self.app_locate(ctx, guid),
+            Msg::AppLeave => self.app_leave(ctx),
+            Msg::AppProbe => self.start_probe_round(ctx),
+            Msg::AppOptimize => self.share_tables_round(ctx),
+            Msg::ShareTable { level: _, refs } => {
+                for r in refs {
+                    self.consider_neighbor(ctx, r);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, timer: Timer) {
+        match timer {
+            Timer::Republish(guid) => self.on_republish_timer(ctx, guid),
+            Timer::ExpirySweep => {
+                self.store.sweep(ctx.now);
+            }
+            Timer::Heartbeat => self.on_heartbeat_timer(ctx),
+            Timer::InsertLevelTimeout { op, level } => self.on_insert_timeout(ctx, op, level),
+            Timer::ProbeDeadline { nonce } => self.on_probe_deadline(ctx, nonce),
+        }
+    }
+}

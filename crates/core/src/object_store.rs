@@ -1,0 +1,205 @@
+use crate::refs::NodeRef;
+use std::collections::BTreeMap;
+use tapestry_id::Guid;
+use tapestry_sim::{NodeIdx, SimTime};
+
+/// One object pointer: "`guid` is stored at `server`" (§2.2).
+///
+/// Unlike PRR, Tapestry keeps **all** pointers for objects with duplicate
+/// names (§2.4), so the store maps a GUID to a *list* of entries. Each
+/// entry remembers the previous hop of the publish path (`last_hop`) —
+/// the state `DeletePointersBackward` (Fig. 9) walks — and an expiry time
+/// (pointers are soft state and vanish unless republished).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PtrEntry {
+    /// Server storing the replica.
+    pub server: NodeRef,
+    /// Previous hop of the publish path (`None` at the server itself).
+    pub last_hop: Option<NodeIdx>,
+    /// When the pointer lapses (soft state, §2.2).
+    pub expires: SimTime,
+    /// Did the publish path terminate here (is this node the root)?
+    pub is_root: bool,
+}
+
+/// Per-node object-pointer state plus the set of locally stored replicas.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    ptrs: BTreeMap<Guid, Vec<PtrEntry>>,
+    local: BTreeMap<Guid, ()>,
+}
+
+impl ObjectStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that this node stores a replica of `guid` (it is a storage
+    /// server for the object).
+    pub fn store_local(&mut self, guid: Guid) {
+        self.local.insert(guid, ());
+    }
+
+    /// Drop the local replica.
+    pub fn remove_local(&mut self, guid: Guid) -> bool {
+        self.local.remove(&guid).is_some()
+    }
+
+    /// Does this node store the object itself?
+    pub fn has_local(&self, guid: Guid) -> bool {
+        self.local.contains_key(&guid)
+    }
+
+    /// All locally stored objects.
+    pub fn local_objects(&self) -> impl Iterator<Item = Guid> + '_ {
+        self.local.keys().copied()
+    }
+
+    /// Deposit or refresh a pointer. Refreshing updates expiry, last hop
+    /// and root flag in place (a republish may arrive along a new path).
+    pub fn deposit(&mut self, guid: Guid, entry: PtrEntry) {
+        let v = self.ptrs.entry(guid).or_default();
+        if let Some(e) = v.iter_mut().find(|e| e.server.idx == entry.server.idx) {
+            e.expires = e.expires.max(entry.expires);
+            e.last_hop = entry.last_hop;
+            e.is_root |= entry.is_root;
+        } else {
+            v.push(entry);
+        }
+    }
+
+    /// Unexpired pointers for `guid` at time `now`.
+    pub fn lookup(&self, guid: Guid, now: SimTime) -> impl Iterator<Item = &PtrEntry> + '_ {
+        self.ptrs
+            .get(&guid)
+            .into_iter()
+            .flatten()
+            .filter(move |e| e.expires > now)
+    }
+
+    /// Remove the pointer for one (guid, server) pair.
+    pub fn remove(&mut self, guid: Guid, server: NodeIdx) -> Option<PtrEntry> {
+        let v = self.ptrs.get_mut(&guid)?;
+        let pos = v.iter().position(|e| e.server.idx == server)?;
+        let e = v.remove(pos);
+        if v.is_empty() {
+            self.ptrs.remove(&guid);
+        }
+        Some(e)
+    }
+
+    /// Delete every expired pointer; returns how many were dropped.
+    pub fn sweep(&mut self, now: SimTime) -> usize {
+        let mut dropped = 0;
+        self.ptrs.retain(|_, v| {
+            let before = v.len();
+            v.retain(|e| e.expires > now);
+            dropped += before - v.len();
+            !v.is_empty()
+        });
+        dropped
+    }
+
+    /// GUIDs for which this node currently believes it is the root.
+    pub fn rooted_guids(&self, now: SimTime) -> Vec<Guid> {
+        self.ptrs
+            .iter()
+            .filter(|(_, v)| v.iter().any(|e| e.is_root && e.expires > now))
+            .map(|(&g, _)| g)
+            .collect()
+    }
+
+    /// All (guid, entry) pairs, for maintenance scans.
+    pub fn iter(&self) -> impl Iterator<Item = (Guid, &PtrEntry)> + '_ {
+        self.ptrs.iter().flat_map(|(&g, v)| v.iter().map(move |e| (g, e)))
+    }
+
+    /// Mutable per-guid entries, for maintenance scans.
+    pub fn entries_mut(&mut self, guid: Guid) -> Option<&mut Vec<PtrEntry>> {
+        self.ptrs.get_mut(&guid)
+    }
+
+    /// Total number of stored pointers (space accounting).
+    pub fn ptr_count(&self) -> usize {
+        self.ptrs.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapestry_id::{Id, IdSpace};
+
+    const S: IdSpace = IdSpace::base16();
+
+    fn g(v: u64) -> Guid {
+        Guid::from_u64(S, v)
+    }
+
+    fn srv(i: usize) -> NodeRef {
+        NodeRef::new(i, Id::from_u64(S, i as u64))
+    }
+
+    fn entry(i: usize, exp: u64, root: bool) -> PtrEntry {
+        PtrEntry { server: srv(i), last_hop: None, expires: SimTime(exp), is_root: root }
+    }
+
+    #[test]
+    fn deposit_and_lookup_respect_expiry() {
+        let mut st = ObjectStore::new();
+        st.deposit(g(1), entry(10, 100, false));
+        assert_eq!(st.lookup(g(1), SimTime(50)).count(), 1);
+        assert_eq!(st.lookup(g(1), SimTime(100)).count(), 0, "expired at its deadline");
+    }
+
+    #[test]
+    fn duplicate_names_keep_all_pointers() {
+        // §2.4: Tapestry keeps pointers to all copies.
+        let mut st = ObjectStore::new();
+        st.deposit(g(1), entry(10, 100, false));
+        st.deposit(g(1), entry(11, 100, false));
+        assert_eq!(st.lookup(g(1), SimTime(0)).count(), 2);
+        assert_eq!(st.ptr_count(), 2);
+    }
+
+    #[test]
+    fn refresh_extends_expiry_and_promotes_root() {
+        let mut st = ObjectStore::new();
+        st.deposit(g(1), entry(10, 100, false));
+        st.deposit(g(1), entry(10, 300, true));
+        let e: Vec<_> = st.lookup(g(1), SimTime(200)).collect();
+        assert_eq!(e.len(), 1);
+        assert!(e[0].is_root);
+    }
+
+    #[test]
+    fn sweep_drops_expired() {
+        let mut st = ObjectStore::new();
+        st.deposit(g(1), entry(10, 100, false));
+        st.deposit(g(2), entry(11, 500, true));
+        assert_eq!(st.sweep(SimTime(200)), 1);
+        assert_eq!(st.ptr_count(), 1);
+        assert_eq!(st.rooted_guids(SimTime(200)), vec![g(2)]);
+    }
+
+    #[test]
+    fn remove_clears_empty_guid_rows() {
+        let mut st = ObjectStore::new();
+        st.deposit(g(1), entry(10, 100, false));
+        assert!(st.remove(g(1), 10).is_some());
+        assert!(st.remove(g(1), 10).is_none());
+        assert_eq!(st.ptr_count(), 0);
+    }
+
+    #[test]
+    fn local_replicas_tracked_separately() {
+        let mut st = ObjectStore::new();
+        st.store_local(g(9));
+        assert!(st.has_local(g(9)));
+        assert!(!st.has_local(g(8)));
+        assert_eq!(st.local_objects().collect::<Vec<_>>(), vec![g(9)]);
+        assert!(st.remove_local(g(9)));
+        assert!(!st.has_local(g(9)));
+    }
+}

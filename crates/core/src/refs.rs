@@ -1,0 +1,54 @@
+use std::fmt;
+use tapestry_id::Id;
+use tapestry_sim::NodeIdx;
+
+/// A remote node as known to its peers: its overlay name plus its network
+/// address (here, the index of the metric point it sits at — the analogue
+/// of an IP address in the paper's `(Name, IP)` pairs).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeRef {
+    /// Network address (metric point / engine index).
+    pub idx: NodeIdx,
+    /// Overlay identifier.
+    pub id: Id,
+}
+
+impl NodeRef {
+    /// Pair a name with an address.
+    pub fn new(idx: NodeIdx, id: Id) -> Self {
+        NodeRef { idx, id }
+    }
+}
+
+impl fmt::Debug for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.id, self.idx)
+    }
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapestry_id::IdSpace;
+
+    #[test]
+    fn display_shows_name_and_address() {
+        let r = NodeRef::new(7, Id::from_u64(IdSpace::base16(), 0x4227_0000));
+        assert_eq!(format!("{r}"), "42270000@7");
+    }
+
+    #[test]
+    fn equality_covers_both_fields() {
+        let s = IdSpace::base16();
+        let a = NodeRef::new(1, Id::from_u64(s, 5));
+        let b = NodeRef::new(2, Id::from_u64(s, 5));
+        assert_ne!(a, b);
+        assert_eq!(a, NodeRef::new(1, Id::from_u64(s, 5)));
+    }
+}

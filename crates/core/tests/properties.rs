@@ -1,0 +1,113 @@
+//! Property-based tests of whole-network invariants: random seeds,
+//! sizes, metrics and operation sequences must never violate the paper's
+//! properties.
+
+use proptest::prelude::*;
+use tapestry_core::{TapestryConfig, TapestryNetwork};
+use tapestry_id::Guid;
+use tapestry_metric::{RingSpace, TorusSpace};
+
+fn torus_net(n: usize, seed: u64) -> TapestryNetwork {
+    let space = TorusSpace::random(n, 1000.0, seed);
+    TapestryNetwork::build(TapestryConfig::default(), Box::new(space), seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property 1 and Property 2 hold for every statically built network.
+    #[test]
+    fn prop_static_build_invariants(n in 8usize..80, seed in 0u64..1000) {
+        let net = torus_net(n, seed);
+        prop_assert!(net.check_property1().is_empty());
+        let (optimal, total) = net.check_property2();
+        prop_assert_eq!(optimal, total);
+    }
+
+    /// Theorem 2: a random GUID has exactly one root, from everywhere.
+    #[test]
+    fn prop_unique_root(n in 8usize..96, seed in 0u64..1000, guid in 0u64..(1 << 32)) {
+        let net = torus_net(n, seed);
+        let g = Guid::from_u64(net.config().space, guid);
+        prop_assert_eq!(net.distinct_roots(&g.id()).len(), 1);
+    }
+
+    /// Deterministic location: publish ⇒ every origin finds the object.
+    #[test]
+    fn prop_publish_locate_total(n in 8usize..64, seed in 0u64..500, sv in 0usize..64, og in 0usize..64) {
+        let mut net = torus_net(n, seed);
+        let server = sv % n;
+        let origin = og % n;
+        let guid = net.random_guid();
+        net.publish(server, guid);
+        let r = net.locate(origin, guid);
+        let r = r.expect("locate completes on a healthy network");
+        prop_assert_eq!(r.server.map(|s| s.idx), Some(server));
+        // Stretch is physically valid.
+        if let Some(direct) = net.nearest_replica_distance(origin, guid) {
+            if direct > 0.0 {
+                prop_assert!(r.distance >= direct - 1e-6, "cannot beat the direct path");
+            }
+        }
+    }
+
+    /// Property 4 after arbitrary publish batches.
+    #[test]
+    fn prop_publish_paths_hold_pointers(n in 12usize..48, seed in 0u64..300, objects in 1usize..12) {
+        let mut net = torus_net(n, seed);
+        for i in 0..objects {
+            let server = (i * 7) % n;
+            let guid = net.random_guid();
+            net.publish(server, guid);
+        }
+        prop_assert!(net.check_property4().is_empty());
+    }
+
+    /// A dynamic insertion never breaks consistency, on any seed.
+    #[test]
+    fn prop_insert_preserves_property1(n in 8usize..48, seed in 0u64..300) {
+        let space = TorusSpace::random(n + 1, 1000.0, seed);
+        let mut net = TapestryNetwork::bootstrap(TapestryConfig::default(), Box::new(space), seed, n);
+        prop_assert!(net.insert_node(n));
+        prop_assert!(net.check_property1().is_empty());
+        // The new node is routable by name from everywhere.
+        let id = net.id_of(n);
+        for &m in net.node_ids().iter().take(8) {
+            prop_assert_eq!(net.root_from(m, &id), n);
+        }
+    }
+
+    /// Voluntary departure never breaks consistency, on any seed.
+    #[test]
+    fn prop_leave_preserves_property1(n in 8usize..48, seed in 0u64..300, leaver in 0usize..48) {
+        let mut net = torus_net(n, seed);
+        let victim = leaver % n;
+        if n <= 2 {
+            return Ok(());
+        }
+        prop_assert!(net.leave(victim));
+        prop_assert!(net.check_property1().is_empty());
+    }
+
+    /// Ring metrics obey the same invariants (the theory only needs the
+    /// expansion property, not 2-D geometry).
+    #[test]
+    fn prop_ring_metric_invariants(n in 8usize..64, seed in 0u64..300) {
+        let space = RingSpace::random(n, 10_000.0, seed);
+        let net = TapestryNetwork::build(TapestryConfig::default(), Box::new(space), seed);
+        prop_assert!(net.check_property1().is_empty());
+        let (optimal, total) = net.check_property2();
+        prop_assert_eq!(optimal, total);
+    }
+
+    /// Locate of an unpublished GUID always terminates with a clean miss.
+    #[test]
+    fn prop_missing_objects_report_cleanly(n in 8usize..64, seed in 0u64..300, guid in 0u64..(1 << 32)) {
+        let mut net = torus_net(n, seed);
+        let g = Guid::from_u64(net.config().space, guid);
+        let origin = net.node_ids()[0];
+        let r = net.locate(origin, g).expect("completes");
+        prop_assert!(r.server.is_none());
+        prop_assert!(r.reached_root);
+    }
+}

@@ -1,0 +1,139 @@
+//! Tests of the distributed PRR-like routing variant (§2.3): unique
+//! roots ("a similar proof is possible for the distributed PRR-like
+//! scheme"), end-to-end location, and dynamic membership under the
+//! alternate scheme.
+
+use tapestry_core::{RoutingScheme, TapestryConfig, TapestryNetwork};
+use tapestry_metric::TorusSpace;
+
+fn prr_cfg() -> TapestryConfig {
+    TapestryConfig { routing: RoutingScheme::PrrLike, ..Default::default() }
+}
+
+fn net(n: usize, seed: u64) -> TapestryNetwork {
+    let space = TorusSpace::random(n, 1000.0, seed);
+    TapestryNetwork::build(prr_cfg(), Box::new(space), seed)
+}
+
+#[test]
+fn prr_like_roots_are_unique() {
+    let mut net = net(96, 41);
+    for _ in 0..20 {
+        let guid = net.random_guid();
+        assert_eq!(
+            net.distinct_roots(&guid.id()).len(),
+            1,
+            "Theorem 2 analogue for the PRR-like scheme"
+        );
+    }
+}
+
+#[test]
+fn prr_like_routes_to_existing_nodes() {
+    let net = net(64, 42);
+    for &m in net.node_ids().iter().take(12) {
+        let id = net.id_of(m);
+        for &o in net.node_ids().iter().take(6) {
+            assert_eq!(net.root_from(o, &id), m, "exact names resolve to their node");
+        }
+    }
+}
+
+#[test]
+fn prr_like_publish_locate_roundtrip() {
+    let mut net = net(96, 43);
+    let members = net.node_ids();
+    for t in 0..8 {
+        let server = members[(t * 11) % members.len()];
+        let guid = net.random_guid();
+        net.publish(server, guid);
+        for &origin in members.iter().step_by(9) {
+            let r = net.locate(origin, guid).expect("completes");
+            assert_eq!(r.server.expect("found").idx, server);
+        }
+    }
+}
+
+#[test]
+fn prr_like_roots_favor_numerically_high_ids() {
+    // The scheme "routes to the root node with the numerically largest
+    // node-ID that matches the destination GUID in the most significant
+    // bits": across random GUIDs, roots should skew toward high IDs
+    // relative to the member median.
+    let mut net = net(128, 44);
+    let mut ids: Vec<u64> = net.node_ids().iter().map(|&m| net.id_of(m).to_u64()).collect();
+    ids.sort_unstable();
+    let median = ids[ids.len() / 2];
+    let mut high = 0;
+    let trials = 40;
+    for _ in 0..trials {
+        let guid = net.random_guid();
+        let root = net.root_of(guid, 0);
+        if net.id_of(root).to_u64() >= median {
+            high += 1;
+        }
+    }
+    assert!(
+        high * 2 > trials,
+        "expected a high-ID skew, got {high}/{trials} above the median"
+    );
+}
+
+#[test]
+fn prr_like_dynamic_insertion_works() {
+    let space = TorusSpace::random(48, 1000.0, 45);
+    let mut net = TapestryNetwork::bootstrap(prr_cfg(), Box::new(space), 45, 40);
+    for idx in 40..48 {
+        assert!(net.insert_node(idx), "insert {idx} completes under PRR-like routing");
+    }
+    assert!(net.check_property1().is_empty());
+    for _ in 0..10 {
+        let guid = net.random_guid();
+        assert_eq!(net.distinct_roots(&guid.id()).len(), 1);
+    }
+}
+
+#[test]
+fn prr_like_availability_through_churn() {
+    let space = TorusSpace::random(56, 1000.0, 46);
+    let mut net = TapestryNetwork::bootstrap(prr_cfg(), Box::new(space), 46, 48);
+    let members = net.node_ids();
+    let mut guids = Vec::new();
+    for i in 0..12 {
+        let guid = net.random_guid();
+        net.publish(members[(i * 5) % members.len()], guid);
+        guids.push(guid);
+    }
+    for idx in 48..56 {
+        assert!(net.insert_node(idx));
+    }
+    let publishers: std::collections::BTreeSet<usize> =
+        (0..12).map(|i| members[(i * 5) % members.len()]).collect();
+    let leaver = members.iter().copied().find(|m| !publishers.contains(m)).unwrap();
+    assert!(net.leave(leaver));
+    for &guid in &guids {
+        let origin = net.random_member();
+        let r = net.locate(origin, guid).expect("completes");
+        assert!(r.server.is_some(), "object lost under PRR-like churn");
+    }
+}
+
+#[test]
+fn schemes_agree_when_tables_are_full_at_top_level() {
+    // With enough nodes, level-0 has no holes, so both schemes resolve the
+    // first digit identically; deeper levels may diverge but both must
+    // terminate at a valid unique root for the same GUID *within* their
+    // own scheme. This cross-checks that scheme choice is a per-network
+    // configuration, not a correctness knob.
+    let seed = 47;
+    let space1 = TorusSpace::random(96, 1000.0, seed);
+    let space2 = TorusSpace::random(96, 1000.0, seed);
+    let mut native =
+        TapestryNetwork::build(TapestryConfig::default(), Box::new(space1), seed);
+    let prr = TapestryNetwork::build(prr_cfg(), Box::new(space2), seed);
+    for _ in 0..10 {
+        let guid = native.random_guid();
+        assert_eq!(native.distinct_roots(&guid.id()).len(), 1);
+        assert_eq!(prr.distinct_roots(&guid.id()).len(), 1);
+    }
+}

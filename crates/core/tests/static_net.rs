@@ -1,0 +1,179 @@
+//! End-to-end tests of the statically built network: mesh invariants,
+//! surrogate routing uniqueness (Theorem 2), publication and location
+//! (Figs. 2–3), and Property 4.
+
+use tapestry_core::{TapestryConfig, TapestryNetwork};
+use tapestry_id::{Guid, Id};
+use tapestry_metric::TorusSpace;
+
+fn net(n: usize, seed: u64) -> TapestryNetwork {
+    let space = TorusSpace::random(n, 1000.0, seed);
+    TapestryNetwork::build(TapestryConfig::default(), Box::new(space), seed)
+}
+
+#[test]
+fn static_build_satisfies_property1() {
+    let net = net(64, 1);
+    assert!(net.check_property1().is_empty(), "no false holes after static build");
+}
+
+#[test]
+fn static_build_satisfies_property2_exactly() {
+    let net = net(64, 2);
+    let (optimal, total) = net.check_property2();
+    assert_eq!(optimal, total, "static build keeps the closest neighbor as primary");
+    assert!(total > 0);
+}
+
+#[test]
+fn surrogate_routing_has_unique_root_theorem2() {
+    let mut net = net(96, 3);
+    for _ in 0..20 {
+        let guid = net.random_guid();
+        let roots = net.distinct_roots(&guid.id());
+        assert_eq!(roots.len(), 1, "Theorem 2: all sources agree on the root of {guid}");
+    }
+}
+
+#[test]
+fn surrogate_of_existing_node_is_that_node() {
+    let net = net(48, 4);
+    for &m in net.node_ids().iter().take(10) {
+        let id = net.id_of(m);
+        assert_eq!(net.root_from(m, &id), m);
+        // And from everywhere else too: routing toward an existing name
+        // reaches exactly that node.
+        for &o in net.node_ids().iter().take(5) {
+            assert_eq!(net.root_from(o, &id), m);
+        }
+    }
+}
+
+#[test]
+fn publish_then_locate_finds_object_from_everywhere() {
+    let mut net = net(64, 5);
+    let members = net.node_ids();
+    let server = members[7];
+    let guid = net.random_guid();
+    net.publish(server, guid);
+    for &origin in members.iter().take(20) {
+        let r = net.locate(origin, guid).expect("locate completes");
+        let s = r.server.expect("deterministic location (paper property 1 of intro)");
+        assert_eq!(s.idx, server);
+    }
+}
+
+#[test]
+fn locate_unpublished_object_reports_not_found() {
+    let mut net = net(32, 6);
+    let origin = net.node_ids()[0];
+    let guid = net.random_guid();
+    let r = net.locate(origin, guid).expect("completion");
+    assert!(r.server.is_none());
+    assert!(r.reached_root, "failure is only declared at the root");
+}
+
+#[test]
+fn publish_deposits_pointers_along_path_property4() {
+    let mut net = net(64, 7);
+    let members = net.node_ids();
+    for i in 0..8 {
+        let guid = net.random_guid();
+        net.publish(members[i * 3], guid);
+    }
+    assert!(net.check_property4().is_empty(), "every path node holds a pointer");
+}
+
+#[test]
+fn replicas_all_reachable_and_closest_tends_to_win() {
+    let mut net = net(128, 8);
+    let members = net.node_ids();
+    let guid = net.random_guid();
+    let (s1, s2) = (members[3], members[100]);
+    net.publish(s1, guid);
+    net.publish(s2, guid);
+    let mut found = std::collections::BTreeSet::new();
+    for &origin in &members {
+        let r = net.locate(origin, guid).expect("completes");
+        found.insert(r.server.expect("found").idx);
+    }
+    assert!(found.contains(&s1) || found.contains(&s2));
+    assert!(found.iter().all(|s| *s == s1 || *s == s2));
+}
+
+#[test]
+fn query_stretch_is_bounded_on_torus() {
+    // The PRR/Tapestry claim: constant expected stretch on
+    // growth-restricted metrics. We assert a loose aggregate bound.
+    let mut net = net(128, 9);
+    let members = net.node_ids();
+    let mut stretches = Vec::new();
+    for t in 0..12 {
+        let guid = net.random_guid();
+        let server = members[(t * 11) % members.len()];
+        net.publish(server, guid);
+        for &origin in members.iter().take(30) {
+            if origin == server {
+                continue;
+            }
+            let direct = net.nearest_replica_distance(origin, guid).unwrap();
+            let r = net.locate(origin, guid).expect("completes");
+            if let Some(s) = r.stretch(direct) {
+                assert!(s >= 1.0 - 1e-9, "stretch below 1 is impossible, got {s}");
+                stretches.push(s);
+            }
+        }
+    }
+    let mean = stretches.iter().sum::<f64>() / stretches.len() as f64;
+    assert!(mean < 12.0, "mean stretch should be small, got {mean}");
+}
+
+#[test]
+fn routing_toward_arbitrary_guid_terminates() {
+    let net = net(64, 10);
+    let members = net.node_ids();
+    for v in [0u64, 1, 0xFFFF_FFFF, 0x1234_5678] {
+        let id = Id::from_u64(net.config().space, v);
+        let path = net.surrogate_path(members[0], &id);
+        assert!(path.len() <= 16, "path of {} hops is too long", path.len());
+    }
+}
+
+#[test]
+fn multi_root_configuration_still_locates() {
+    let cfg = TapestryConfig { roots_per_object: 3, ..Default::default() };
+    let space = TorusSpace::random(64, 1000.0, 11);
+    let mut net = TapestryNetwork::build(cfg, Box::new(space), 11);
+    let members = net.node_ids();
+    let guid = Guid::from_u64(cfg.space, 0xABCD_EF01);
+    net.publish(members[5], guid);
+    for &origin in members.iter().take(16) {
+        let r = net.locate(origin, guid).expect("completes");
+        assert_eq!(r.server.expect("found").idx, members[5]);
+    }
+    // Each of the three roots has a pointer.
+    for i in 0..3 {
+        let root = net.root_of(guid, i);
+        let now = net.engine().now();
+        assert!(net
+            .node(root)
+            .unwrap()
+            .store()
+            .lookup(guid, now)
+            .any(|e| e.server.idx == members[5]));
+    }
+}
+
+#[test]
+fn snapshot_space_is_logarithmic_per_node() {
+    let net = net(256, 12);
+    let snap = net.snapshot();
+    assert_eq!(snap.n, 256);
+    // Table 1: space O(n log n) → per node O(b · log_b n · R) entries.
+    assert!(snap.avg_table_entries > 4.0);
+    assert!(
+        (snap.max_table_entries as f64) < 16.0 * 8.0 * 3.0,
+        "max {} exceeds b·levels·R",
+        snap.max_table_entries
+    );
+}

@@ -1,0 +1,66 @@
+use crate::{Id, IdSpace};
+use rand::Rng;
+use std::fmt;
+
+/// A globally unique object identifier (the paper's GUID, `Ψ`).
+///
+/// GUIDs live in the same digit namespace as node IDs — that is the whole
+/// point of surrogate routing: a query routes *toward a GUID as if it were
+/// a node* and adapts when the matching node does not exist (§2.3).
+///
+/// The newtype keeps object names and node names from being confused in
+/// APIs, which the paper's prose freely mixes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Guid(pub Id);
+
+impl Guid {
+    /// Wrap an identifier as an object GUID.
+    pub fn new(id: Id) -> Self {
+        Guid(id)
+    }
+
+    /// Draw a GUID uniformly at random.
+    pub fn random<R: Rng + ?Sized>(space: IdSpace, rng: &mut R) -> Self {
+        Guid(Id::random(space, rng))
+    }
+
+    /// GUID from an integer value.
+    pub fn from_u64(space: IdSpace, v: u64) -> Self {
+        Guid(Id::from_u64(space, v))
+    }
+
+    /// The underlying identifier.
+    pub fn id(&self) -> Id {
+        self.0
+    }
+}
+
+impl fmt::Debug for Guid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Guid({})", self.0)
+    }
+}
+
+impl fmt::Display for Guid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guid_displays_like_id() {
+        let g = Guid::from_u64(IdSpace::base16(), 0x4378_0000);
+        assert_eq!(format!("{g}"), "43780000");
+    }
+
+    #[test]
+    fn guid_equality_follows_id() {
+        let s = IdSpace::base16();
+        assert_eq!(Guid::from_u64(s, 7), Guid::from_u64(s, 7));
+        assert_ne!(Guid::from_u64(s, 7), Guid::from_u64(s, 8));
+    }
+}

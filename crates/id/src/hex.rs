@@ -1,0 +1,45 @@
+//! Digit formatting shared by [`Id`](crate::Id) and [`Prefix`](crate::Prefix).
+
+use std::fmt;
+
+/// Write one digit. Digits 0–15 print as hex characters (matching the
+/// paper's figures, e.g. node `42A2`); larger radices fall back to a
+/// bracketed decimal so output stays unambiguous.
+pub(crate) fn write_digit(f: &mut fmt::Formatter<'_>, d: u8) -> fmt::Result {
+    match d {
+        0..=9 => write!(f, "{}", d),
+        10..=15 => write!(f, "{}", (b'A' + d - 10) as char),
+        _ => write!(f, "[{}]", d),
+    }
+}
+
+/// Parse a hex digit character back into a digit value.
+pub fn parse_digit(c: char) -> Option<u8> {
+    match c {
+        '0'..='9' => Some(c as u8 - b'0'),
+        'A'..='F' => Some(c as u8 - b'A' + 10),
+        'a'..='f' => Some(c as u8 - b'a' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Id, IdSpace};
+
+    #[test]
+    fn parse_roundtrip() {
+        let id = Id::from_u64(IdSpace::base16(), 0x0123_ABCD);
+        let s = format!("{id}");
+        let digits: Vec<u8> = s.chars().map(|c| parse_digit(c).unwrap()).collect();
+        assert_eq!(Id::from_digits(IdSpace::base16(), &digits), id);
+    }
+
+    #[test]
+    fn parse_rejects_non_hex() {
+        assert_eq!(parse_digit('g'), None);
+        assert_eq!(parse_digit(' '), None);
+        assert_eq!(parse_digit('a'), Some(10));
+    }
+}

@@ -1,0 +1,86 @@
+use crate::{Guid, Id, IdSpace};
+
+/// SplitMix64 — a tiny, high-quality 64-bit mixer.
+///
+/// `MAPROOTS` must be a *pure function* evaluatable identically anywhere in
+/// the network (Property 3). A seeded mixer gives us that without any
+/// shared state or cryptographic dependency.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The identifier to surrogate-route toward for root `i` of `guid`.
+///
+/// Per Observation 2 of the paper, multiple roots are obtained by mapping
+/// the GUID `Ψ` through a pseudo-random function into identifiers
+/// `Ψ_0, Ψ_1, …`; root `i` is the surrogate of `Ψ_i`. Root 0 uses the GUID
+/// itself so the single-root configuration matches the paper's base scheme
+/// (publish routes toward `Ψ` directly, Figs. 2–3).
+pub fn root_id(space: IdSpace, guid: Guid, i: usize) -> Id {
+    if i == 0 {
+        return guid.id();
+    }
+    let h = splitmix64(guid.id().to_u64() ^ splitmix64(i as u64));
+    Id::from_u64(space, h % space.cardinality())
+}
+
+/// The full ordered list of root identifiers for `guid`
+/// (the paper's `MAPROOTS(Ψ)` evaluated as identifiers to route toward).
+pub fn map_roots(space: IdSpace, guid: Guid, nroots: usize) -> Vec<Id> {
+    (0..nroots).map(|i| root_id(space, guid, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const S: IdSpace = IdSpace::base16();
+
+    #[test]
+    fn root_zero_is_guid_itself() {
+        let g = Guid::from_u64(S, 0x4378_0000);
+        assert_eq!(root_id(S, g, 0), g.id());
+    }
+
+    #[test]
+    fn roots_are_deterministic() {
+        let g = Guid::from_u64(S, 0xABCD_0123);
+        assert_eq!(map_roots(S, g, 4), map_roots(S, g, 4));
+    }
+
+    #[test]
+    fn distinct_roots_with_high_probability() {
+        let g = Guid::from_u64(S, 42);
+        let roots = map_roots(S, g, 8);
+        let mut uniq = roots.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), roots.len(), "32-bit space: collisions vanishingly unlikely");
+    }
+
+    #[test]
+    fn splitmix_differs_on_consecutive_inputs() {
+        assert_ne!(splitmix64(1), splitmix64(2));
+        assert_ne!(splitmix64(0), 0);
+    }
+
+    proptest! {
+        /// Property 3 (unique root set): same GUID ⇒ same roots, everywhere.
+        #[test]
+        fn prop_maproots_pure(v in 0u64..(1 << 32), n in 1usize..6) {
+            let g = Guid::from_u64(S, v);
+            prop_assert_eq!(map_roots(S, g, n), map_roots(S, g, n));
+        }
+
+        #[test]
+        fn prop_roots_in_space(v in 0u64..(1 << 32), i in 0usize..8) {
+            let g = Guid::from_u64(S, v);
+            let r = root_id(S, g, i);
+            prop_assert!(r.to_u64() < S.cardinality());
+        }
+    }
+}

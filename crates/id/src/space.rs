@@ -1,0 +1,89 @@
+use crate::MAX_DIGITS;
+
+/// The shape of an identifier namespace: digit radix and name length.
+///
+/// All identifiers that interact (node IDs, GUIDs, prefixes) must come from
+/// the same `IdSpace`. The paper's Property 3 (unique root set) only makes
+/// sense when `MAPROOTS` is evaluated against a fixed namespace shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IdSpace {
+    /// Digit radix `b` (the paper uses 16).
+    pub base: u8,
+    /// Number of digits in every full-length identifier.
+    pub digits: u8,
+}
+
+impl IdSpace {
+    /// Create a namespace with radix `base` and `digits` digits per name.
+    ///
+    /// # Panics
+    /// If `base < 2` or `digits` is zero or exceeds [`MAX_DIGITS`].
+    pub const fn new(base: u8, digits: u8) -> Self {
+        assert!(base >= 2, "radix must be at least 2");
+        assert!(digits as usize <= MAX_DIGITS && digits > 0);
+        IdSpace { base, digits }
+    }
+
+    /// The conventional Tapestry namespace: base 16, 8 digits (32 bits).
+    pub const fn base16() -> Self {
+        IdSpace::new(16, 8)
+    }
+
+    /// Total number of distinct identifiers, saturating at `u64::MAX`.
+    pub fn cardinality(&self) -> u64 {
+        let mut n: u64 = 1;
+        for _ in 0..self.digits {
+            n = n.saturating_mul(self.base as u64);
+        }
+        n
+    }
+
+    /// Number of routing-table levels (= digits per name).
+    pub fn levels(&self) -> usize {
+        self.digits as usize
+    }
+}
+
+impl Default for IdSpace {
+    fn default() -> Self {
+        IdSpace::base16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base16_shape() {
+        let s = IdSpace::base16();
+        assert_eq!(s.base, 16);
+        assert_eq!(s.digits, 8);
+        assert_eq!(s.levels(), 8);
+        assert_eq!(s.cardinality(), 1 << 32);
+    }
+
+    #[test]
+    fn cardinality_saturates() {
+        let s = IdSpace::new(255, 16);
+        assert_eq!(s.cardinality(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_base_one() {
+        IdSpace::new(1, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_digits() {
+        IdSpace::new(16, 0);
+    }
+
+    #[test]
+    fn binary_space() {
+        let s = IdSpace::new(2, 16);
+        assert_eq!(s.cardinality(), 65536);
+    }
+}

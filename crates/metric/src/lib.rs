@@ -1,0 +1,26 @@
+//! Metric-space substrates for the Tapestry simulation.
+//!
+//! The paper's analysis (§3, Eq. 1) assumes a *growth-restricted* metric:
+//! `|B_A(2r)| ≤ c · |B_A(r)|` for a constant expansion `c`, plus the
+//! triangle inequality. Real deployments run over the Internet; we
+//! substitute synthetic metric spaces that provably (torus, grid, ring) or
+//! approximately (transit-stub clusters) satisfy those assumptions, since
+//! every quantity the paper reports — hops, messages, stretch — is defined
+//! purely by the metric.
+//!
+//! All spaces place `n` points up front; dynamic-membership experiments
+//! activate subsets of the points over time.
+
+mod expansion;
+mod grid;
+mod ring;
+mod space;
+mod torus;
+mod transit_stub;
+
+pub use expansion::{estimate_expansion, ExpansionEstimate};
+pub use grid::GridSpace;
+pub use ring::RingSpace;
+pub use space::{closest_k, diameter_upper_bound, nearest, MetricSpace, PointIdx};
+pub use torus::TorusSpace;
+pub use transit_stub::TransitStubSpace;

@@ -1,0 +1,23 @@
+//! PRR v.0: the paper's §7 scheme for **general metric spaces**.
+//!
+//! A static random-sampling structure: for `i ∈ [1, log n]` and
+//! `j ∈ [0, c·log n]`, the set `S_{i,j}` samples each node with
+//! probability `2^i / n` (nested in `i`, as the end of the proof of
+//! Theorem 7 requires), plus a single global node `S_{0,0}`. Every node
+//! stores its closest member of each `S_{i,j}`; every sampled node stores
+//! the objects of the nodes that point to it. A query descends from the
+//! densest level: at level `i` it asks its `c·log n` representatives in
+//! parallel, stopping at the first level where some representative is
+//! shared with the object's server.
+//!
+//! Theorem 7: the first shared level satisfies
+//! `d(S_{i*,j}, X) ≤ d(X, Y)·log n` w.h.p., giving polylogarithmic
+//! stretch with `O(log² n)` average space — on *any* metric, no
+//! growth-restriction needed. This crate reproduces the scheme and its
+//! measured columns in Table 1 (the `PRR v.0 + This Paper` row).
+
+mod sampling;
+mod scheme;
+
+pub use sampling::{sample_sets, SamplingParams};
+pub use scheme::{PrrV0, PrrV0Lookup};

@@ -1,0 +1,22 @@
+//! A deterministic discrete-event simulator for overlay networks.
+//!
+//! The paper evaluates its algorithms by counting **messages**, **hops**
+//! and **network distance** (latency) — never wall-clock time on specific
+//! hardware. This engine reproduces exactly that cost model:
+//!
+//! * every message between nodes `a` and `b` takes time proportional to
+//!   the metric distance `d(a, b)` (plus a small fixed processing delay),
+//! * every send is recorded in [`SimStats`],
+//! * nodes are actors with `on_message` / `on_timer` handlers and may be
+//!   added (insertion) or removed (voluntary/involuntary deletion) at any
+//!   point, and
+//! * runs are bit-for-bit reproducible: ties in delivery time are broken
+//!   by a global sequence number and all randomness is seeded upstream.
+
+mod engine;
+mod stats;
+mod time;
+
+pub use engine::{Actor, Ctx, Engine, NodeIdx, EXTERNAL};
+pub use stats::SimStats;
+pub use time::SimTime;

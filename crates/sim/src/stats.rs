@@ -1,0 +1,85 @@
+use std::collections::BTreeMap;
+
+/// Global cost counters for one simulation run.
+///
+/// The unit of account follows the paper: messages (one per overlay send),
+/// network distance (the metric length of each send — the paper's
+/// "network latency" or "traffic"), and drops (sends to departed nodes).
+/// Named counters let higher layers attribute costs to logical operations
+/// ("insert.multicast", "locate.hops", …) without the engine knowing
+/// anything about Tapestry.
+#[derive(Debug, Default, Clone)]
+pub struct SimStats {
+    /// Total messages delivered or in flight.
+    pub messages: u64,
+    /// Sum of metric distances of all sends.
+    pub distance: f64,
+    /// Messages addressed to nodes that had already left.
+    pub dropped: u64,
+    /// Timer events fired.
+    pub timers: u64,
+    named: BTreeMap<&'static str, u64>,
+}
+
+impl SimStats {
+    /// Increment a named counter by `v`.
+    pub fn add(&mut self, name: &'static str, v: u64) {
+        *self.named.entry(name).or_insert(0) += v;
+    }
+
+    /// Read a named counter (0 when never touched).
+    pub fn get(&self, name: &'static str) -> u64 {
+        self.named.get(name).copied().unwrap_or(0)
+    }
+
+    /// All named counters, sorted by name (deterministic output).
+    pub fn named(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.named.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Snapshot the difference `self - earlier` for the builtin counters —
+    /// handy for measuring the cost of a single operation window.
+    pub fn delta_messages(&self, earlier: &SimStats) -> u64 {
+        self.messages - earlier.messages
+    }
+
+    /// Distance accumulated since `earlier`.
+    pub fn delta_distance(&self, earlier: &SimStats) -> f64 {
+        self.distance - earlier.distance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_counters_accumulate() {
+        let mut s = SimStats::default();
+        s.add("locate.hops", 3);
+        s.add("locate.hops", 2);
+        assert_eq!(s.get("locate.hops"), 5);
+        assert_eq!(s.get("never"), 0);
+    }
+
+    #[test]
+    fn named_iteration_sorted() {
+        let mut s = SimStats::default();
+        s.add("b", 1);
+        s.add("a", 2);
+        let names: Vec<_> = s.named().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn deltas() {
+        let mut before = SimStats::default();
+        before.messages = 10;
+        before.distance = 5.0;
+        let mut after = before.clone();
+        after.messages = 25;
+        after.distance = 9.0;
+        assert_eq!(after.delta_messages(&before), 15);
+        assert!((after.delta_distance(&before) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,89 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Simulated time, in integer micro-units.
+///
+/// Metric distances (`f64`) are scaled by [`SimTime::UNITS_PER_DISTANCE`]
+/// and rounded so the event queue orders on integers — float keys in a
+/// priority queue are a classic source of platform-dependent tie-breaking,
+/// and determinism is a hard requirement here (the simultaneous-insertion
+/// experiments replay exact interleavings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Integer time units per unit of metric distance.
+    pub const UNITS_PER_DISTANCE: f64 = 1024.0;
+
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The latency of traversing `d` units of metric distance.
+    pub fn from_distance(d: f64) -> SimTime {
+        debug_assert!(d >= 0.0 && d.is_finite());
+        SimTime((d * Self::UNITS_PER_DISTANCE).round() as u64)
+    }
+
+    /// Convert back to metric-distance units.
+    pub fn as_distance(self) -> f64 {
+        self.0 as f64 / Self::UNITS_PER_DISTANCE
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}", self.as_distance())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_roundtrip_is_close() {
+        for d in [0.0, 0.5, 1.0, 123.456, 9999.9] {
+            let t = SimTime::from_distance(d);
+            assert!((t.as_distance() - d).abs() < 1.0 / SimTime::UNITS_PER_DISTANCE);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_distance() {
+        assert!(SimTime::from_distance(1.0) < SimTime::from_distance(2.0));
+        assert_eq!(SimTime::from_distance(0.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime(10) + SimTime(5);
+        assert_eq!(a, SimTime(15));
+        assert_eq!(a - SimTime(5), SimTime(10));
+        assert_eq!(SimTime(3).saturating_sub(SimTime(7)), SimTime::ZERO);
+    }
+}
