@@ -40,7 +40,7 @@ impl Chord {
     /// An empty ring. `m` fingers per node are kept (use
     /// `(log₂ expected_n) + 3`; [`Chord::for_size`] picks this for you).
     pub fn new(m: u32, seed: u64) -> Self {
-        assert!(m >= 1 && m <= 63);
+        assert!((1..=63).contains(&m));
         Chord {
             ring: BTreeMap::new(),
             ids: HashMap::new(),

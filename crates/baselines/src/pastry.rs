@@ -171,7 +171,7 @@ impl Pastry {
             PNode { id, table: vec![None; self.levels() * self.base()], leaves: Vec::new() },
         );
         let mut spent = 0u64;
-        if self.order.len() >= 1 {
+        if !self.order.is_empty() {
             let gw = self.order[0].1;
             let path = self.route(gw, &id);
             // Route hops + one state-fetch message per node on the path

@@ -37,13 +37,13 @@ fn run(local_opt: bool, seed: u64) -> (f64, f64, f64) {
     let mut local_total = 0usize;
     let mut remote_lat = Vec::new();
     for &(server, guid, stub) in &replicas {
-        for origin in 0..n {
+        for (origin, &origin_stub) in stub_of.iter().enumerate().take(n) {
             if origin == server {
                 continue;
             }
             let r = net.locate(origin, guid).expect("completes");
             assert!(r.server.is_some(), "always found");
-            if stub_of[origin] == stub {
+            if origin_stub == stub {
                 local_total += 1;
                 local_lat.push(r.distance);
                 // An intra-stub query "escaped" if it traveled farther

@@ -38,7 +38,7 @@ fn one_trial(k: usize, seed: u64) -> Trial {
     let mut best: Option<(f64, usize)> = None;
     for j in 0..16u8 {
         for (r, d) in node.table().slot(0, j).iter_with_dist() {
-            if r.idx != N && best.map_or(true, |(bd, _)| d < bd) {
+            if r.idx != N && best.is_none_or(|(bd, _)| d < bd) {
                 best = Some((d, r.idx));
             }
         }

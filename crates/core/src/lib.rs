@@ -50,4 +50,4 @@ pub use network::{LocateResult, NetworkSnapshot, TapestryNetwork};
 pub use node::{NodeStatus, TapestryNode};
 pub use object_store::{ObjectStore, PtrEntry};
 pub use refs::NodeRef;
-pub use routing_table::{Hop, RoutingTable};
+pub use routing_table::{Hop, RoutingTable, TableAddOutcome};

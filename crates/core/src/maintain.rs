@@ -294,7 +294,7 @@ impl TapestryNode {
         for l in 0..self.table.levels() {
             for j in 0..self.table.base() as u8 {
                 for (r, d) in self.table.slot(l, j).iter_with_dist() {
-                    if r.idx != self.me.idx && best.map_or(true, |(bd, _)| d < bd) {
+                    if r.idx != self.me.idx && best.is_none_or(|(bd, _)| d < bd) {
                         best = Some((d, r));
                     }
                 }

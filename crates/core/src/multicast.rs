@@ -32,6 +32,7 @@ impl TapestryNode {
     }
 
     /// A multicast branch arrived from `from`.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire message's fields
     pub(crate) fn on_multicast(
         &mut self,
         ctx: &mut Ctx<'_, Msg, Timer>,
@@ -52,6 +53,7 @@ impl TapestryNode {
         self.run_multicast(ctx, op, prefix, new_node, hole, watch, Some(from));
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the wire message's fields
     fn run_multicast(
         &mut self,
         ctx: &mut Ctx<'_, Msg, Timer>,
@@ -73,6 +75,9 @@ impl TapestryNode {
             self.table.add_pinned(new_node, dist);
             ctx.send(new_node.idx, Msg::AddedYou { me: self.me });
             self.link_and_xfer_root(ctx, new_node);
+            // A concurrently inserting node may be exactly the filler some
+            // earlier watcher is still waiting for (§4.4).
+            self.notify_watchers(ctx, new_node);
         }
         let watch = self.serve_watch_list(ctx, new_node, op, watch);
 
@@ -157,6 +162,18 @@ impl TapestryNode {
             }
             if !served {
                 remaining.push((lvl, dig));
+                // Fig. 11: hold the unserved watch so a later arrival that
+                // fills the hole (e.g. a concurrent insertee) still gets
+                // reported. Entries are retired when served; many holes
+                // have no possible filler and would pile up forever, so at
+                // the cap the *oldest* entry is evicted — recent watches
+                // (the live races) always get held.
+                if lvl <= shared {
+                    if self.watches.len() >= 1024 {
+                        self.watches.remove(0);
+                    }
+                    self.watches.push((new_node, lvl, dig, op));
+                }
             }
         }
         if !found.is_empty() {
@@ -223,6 +240,10 @@ impl TapestryNode {
         // Unpin: the session is acknowledged here, so the new node is now
         // reachable through the regular multicast tree.
         self.table.unpin(&s.new_node);
+        // `add_pinned` placed the new node in its divergence slot only;
+        // re-offer it through the regular path so it also gains its nested
+        // own-digit memberships (§2.1) now that the session is over.
+        self.consider_neighbor(ctx, s.new_node);
         match s.parent {
             Some(p) => ctx.send(p, Msg::MulticastAck { op }),
             None => ctx.send(s.new_node.idx, Msg::MulticastDone { op }),

@@ -88,6 +88,11 @@ pub struct TapestryNode {
     /// Sessions already completed (suppresses duplicate multicasts, §4.4).
     pub(crate) mcast_done: HashSet<OpId>,
     pub(crate) leave: Option<LeaveState>,
+    /// Held watch-list entries (§4.4, Fig. 11): `(watcher, level, digit,
+    /// op)` holes advertised by inserting nodes that we could not serve at
+    /// multicast time. When a node filling one appears here later (e.g. a
+    /// concurrent insertee), the watcher is sent a `Candidates` report.
+    pub(crate) watches: Vec<(NodeRef, usize, u8, OpId)>,
     pub(crate) probe: ProbeState,
     /// Completed locate operations awaiting collection by the driver.
     pub(crate) locate_results: Vec<LocateResult>,
@@ -121,6 +126,7 @@ impl TapestryNode {
             mcast: HashMap::new(),
             mcast_done: HashSet::new(),
             leave: None,
+            watches: Vec::new(),
             probe: ProbeState::default(),
             locate_results: Vec::new(),
             pending_locates: HashMap::new(),
@@ -211,16 +217,38 @@ impl TapestryNode {
             return;
         }
         let dist = ctx.distance_to(r.idx);
-        match self.table.add_if_closer(r, dist, self.cfg.redundancy) {
-            crate::neighbor_set::AddOutcome::Added { evicted, .. } => {
-                ctx.send(r.idx, Msg::AddedYou { me: self.me });
-                if let Some(e) = evicted {
-                    if !self.table.contains(e.idx) {
-                        ctx.send(e.idx, Msg::RemovedYou { me: self.me });
-                    }
-                }
+        let outcome = self.table.add_if_closer(r, dist, self.cfg.redundancy);
+        if outcome.newly_added {
+            ctx.send(r.idx, Msg::AddedYou { me: self.me });
+            self.notify_watchers(ctx, r);
+        }
+        for e in outcome.evicted {
+            if !self.table.contains(e.idx) {
+                ctx.send(e.idx, Msg::RemovedYou { me: self.me });
             }
-            _ => {}
+        }
+    }
+
+    /// Fig. 11: a node we just learned about may fill a hole some
+    /// inserting node advertised on its watch list. Report it and retire
+    /// the served entries (one candidate is enough to fill a hole; closer
+    /// ones keep arriving through the normal protocol).
+    pub(crate) fn notify_watchers(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, r: NodeRef) {
+        if self.watches.is_empty() {
+            return;
+        }
+        let mut served: Vec<(NodeRef, OpId)> = Vec::new();
+        self.watches.retain(|&(watcher, lvl, dig, op)| {
+            let fills = watcher.idx != r.idx
+                && watcher.id.shared_prefix_len(&r.id) == lvl
+                && r.id.digit(lvl) == dig;
+            if fills {
+                served.push((watcher, op));
+            }
+            !fills
+        });
+        for (watcher, op) in served {
+            ctx.send(watcher.idx, Msg::Candidates { op, refs: vec![r] });
         }
     }
 }

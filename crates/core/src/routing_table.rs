@@ -13,6 +13,17 @@ pub enum Hop {
     Root,
 }
 
+/// Aggregate result of offering a node to every slot it qualifies for.
+#[derive(Debug, Clone, Default)]
+pub struct TableAddOutcome {
+    /// Added to at least one slot it was absent from.
+    pub newly_added: bool,
+    /// Entries displaced by capacity eviction (they may survive in other
+    /// slots — callers deciding on backpointer removal must re-check
+    /// [`RoutingTable::contains`]).
+    pub evicted: Vec<NodeRef>,
+}
+
 /// The per-node routing mesh state: `levels × base` neighbor sets.
 ///
 /// Level `l` (0-based here; the paper's level `l+1`) holds, in slot `j`,
@@ -78,13 +89,37 @@ impl RoutingTable {
         Some((p, other.digit(p)))
     }
 
-    /// Offer `other` to its slot (`AddToTableIfCloser`). Self-offers are
-    /// ignored.
-    pub fn add_if_closer(&mut self, other: NodeRef, dist: f64, capacity: usize) -> AddOutcome {
-        match self.slot_for(&other.id) {
-            None => AddOutcome::AlreadyPresent,
-            Some((l, j)) => self.slot_mut(l, j).add_if_closer(other, dist, capacity),
+    /// Offer `other` to every slot it qualifies for (`AddToTableIfCloser`
+    /// over the paper's *nested* neighbor sets). Self-offers are ignored.
+    ///
+    /// `N_{α,j}` holds the closest nodes whose IDs extend prefix `α` with
+    /// digit `j` — a node sharing `p` digits with the owner therefore
+    /// belongs not only at its divergence slot `(p, digit_p)` but also in
+    /// the owner's own-digit slot of every level `ℓ < p` (§2.1; the
+    /// nearest-neighbor observation and Theorem 3's list build both rely
+    /// on `∪_j N_{ε,j}` containing the closest same-first-digit nodes,
+    /// not just the owner's self entry). Only own-digit slots gain
+    /// entries, and the owner (distance 0) stays their primary, so
+    /// routing decisions and hole patterns are unaffected.
+    pub fn add_if_closer(&mut self, other: NodeRef, dist: f64, capacity: usize) -> TableAddOutcome {
+        let mut outcome = TableAddOutcome::default();
+        let Some((p, j)) = self.slot_for(&other.id) else {
+            return outcome;
+        };
+        let mut offer = |slot: &mut NeighborSet| match slot.add_if_closer(other, dist, capacity) {
+            AddOutcome::Added { evicted, .. } => {
+                outcome.newly_added = true;
+                if let Some(e) = evicted {
+                    outcome.evicted.push(e);
+                }
+            }
+            AddOutcome::AlreadyPresent | AddOutcome::Rejected => {}
+        };
+        for l in 0..p {
+            offer(&mut self.slots[l * self.base + other.id.digit(l) as usize]);
         }
+        offer(&mut self.slots[p * self.base + j as usize]);
+        outcome
     }
 
     /// Insert `other` pinned (multicast in progress, §4.4).
@@ -397,12 +432,30 @@ mod tests {
     #[test]
     fn level_refs_and_all_refs_exclude_owner() {
         let mut t = table(0x4227_0000);
+        // 4111… shares digit "4": divergence slot (1, 1) plus the nested
+        // own-digit membership N_{ε,4} at level 0 (§2.1).
         t.add_if_closer(nref(1, 0x4111_0000), 2.0, 3);
         t.add_if_closer(nref(2, 0x9999_0000), 3.0, 3);
-        assert_eq!(t.level_refs(0).len(), 1);
+        assert_eq!(t.level_refs(0).len(), 2, "9999… at (0,9) and 4111… in N_{{ε,4}}");
         assert_eq!(t.level_refs(1).len(), 1);
-        assert_eq!(t.all_refs().len(), 2);
-        assert_eq!(t.entry_count(), 2);
+        assert_eq!(t.all_refs().len(), 2, "all_refs dedups across slots");
+        assert_eq!(t.entry_count(), 3, "4111… occupies two slots");
+    }
+
+    #[test]
+    fn nested_sets_expose_nearest_same_digit_node_at_level0() {
+        // §2.1: the closest entry of ∪_j N_{ε,j} must be the true nearest
+        // neighbor even when it shares a prefix with the owner.
+        let mut t = table(0x4227_0000);
+        let near = nref(1, 0x4229_0000); // shares "422", very close
+        let far = nref(2, 0x9999_0000);
+        t.add_if_closer(near, 1.0, 3);
+        t.add_if_closer(far, 50.0, 3);
+        let level0: Vec<_> = (0..16u8).flat_map(|j| t.slot(0, j).iter()).collect();
+        assert!(level0.contains(&near), "prefix-sharing NN visible at level 0");
+        // The owner remains the primary of its own-digit slot, so routing
+        // still resolves the self step.
+        assert_eq!(t.slot(0, 4).primary(None).unwrap().idx, 0);
     }
 
     #[test]

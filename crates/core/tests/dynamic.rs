@@ -102,7 +102,7 @@ fn nearest_neighbor_discovered_by_insertion_theorem3() {
         let mut best: Option<(f64, usize)> = None;
         for j in 0..16u8 {
             for (r, d) in node.table().slot(0, j).iter_with_dist() {
-                if r.idx != 64 && best.map_or(true, |(bd, _)| d < bd) {
+                if r.idx != 64 && best.is_none_or(|(bd, _)| d < bd) {
                     best = Some((d, r.idx));
                 }
             }

@@ -73,9 +73,7 @@ mod tests {
 
     #[test]
     fn deltas() {
-        let mut before = SimStats::default();
-        before.messages = 10;
-        before.distance = 5.0;
+        let before = SimStats { messages: 10, distance: 5.0, ..Default::default() };
         let mut after = before.clone();
         after.messages = 25;
         after.distance = 9.0;

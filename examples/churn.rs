@@ -67,7 +67,7 @@ fn main() {
         let leaver = net
             .node_ids()
             .into_iter()
-            .find(|&m| net.node(m).map_or(false, |n| n.store().local_objects().count() == 0))
+            .find(|&m| net.node(m).is_some_and(|n| n.store().local_objects().count() == 0))
             .expect("non-publisher exists");
         assert!(net.leave(leaver), "voluntary leave completes");
     }
@@ -78,7 +78,7 @@ fn main() {
         let victim = net
             .node_ids()
             .into_iter()
-            .find(|&m| net.node(m).map_or(false, |n| n.store().local_objects().count() == 0))
+            .find(|&m| net.node(m).is_some_and(|n| n.store().local_objects().count() == 0))
             .expect("non-publisher exists");
         net.kill(victim);
     }

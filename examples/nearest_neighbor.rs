@@ -35,7 +35,7 @@ fn main() {
         let mut best: Option<(f64, usize)> = None;
         for j in 0..16u8 {
             for (r, d) in node.table().slot(0, j).iter_with_dist() {
-                if r.idx != idx && best.map_or(true, |(bd, _)| d < bd) {
+                if r.idx != idx && best.is_none_or(|(bd, _)| d < bd) {
                     best = Some((d, r.idx));
                 }
             }

@@ -36,13 +36,13 @@ fn run(local_opt: bool) -> (f64, f64) {
     // else pays wide-area latency to the nearest replica.
     let mut local_dist = Vec::new();
     let mut remote_dist = Vec::new();
-    for origin in 0..stub_of.len() {
+    for (origin, &origin_stub) in stub_of.iter().enumerate() {
         if servers.contains(&origin) {
             continue;
         }
         let r = net.locate(origin, guid).expect("completes");
         assert!(r.server.is_some(), "replica always found");
-        if [0usize, 5, 10].contains(&stub_of[origin]) {
+        if [0usize, 5, 10].contains(&origin_stub) {
             local_dist.push(r.distance);
         } else {
             remote_dist.push(r.distance);

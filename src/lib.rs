@@ -35,7 +35,7 @@ pub use tapestry_sim as sim;
 /// Everything most applications need, in one import.
 pub mod prelude {
     pub use tapestry_core::{
-        LocateResult, RoutingScheme, TapestryConfig, TapestryNetwork,
+        LocateResult, NetworkSnapshot, RoutingScheme, TapestryConfig, TapestryNetwork,
     };
     pub use tapestry_id::{Guid, Id, IdSpace, Prefix};
     pub use tapestry_metric::{

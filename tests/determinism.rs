@@ -44,6 +44,39 @@ fn full_scenario(seed: u64) -> (u64, u64, Vec<(u32, u64)>, usize) {
 }
 
 #[test]
+fn identical_seeds_build_identical_snapshots() {
+    // Static construction is a pure function of (config, space, seed):
+    // two builds must agree entry-for-entry, and the space summary —
+    // the NetworkSnapshot — must be equal as a value.
+    fn snap(build_seed: u64) -> NetworkSnapshot {
+        let space = TorusSpace::random(96, 1000.0, build_seed);
+        let net = TapestryNetwork::build(TapestryConfig::default(), Box::new(space), build_seed);
+        net.snapshot()
+    }
+    let a = snap(17);
+    let b = snap(17);
+    assert_eq!(a, b, "same seed ⇒ identical NetworkSnapshot");
+}
+
+#[test]
+fn different_build_seeds_diverge_in_snapshot_or_roots() {
+    // Different seeds give different IDs and geometry; the table-space
+    // summary (or, at minimum, the root assignment of a fixed GUID) must
+    // differ. Checking both makes the test robust to coincidental
+    // snapshot collisions while still demanding real divergence.
+    fn build(build_seed: u64) -> TapestryNetwork {
+        let space = TorusSpace::random(96, 1000.0, build_seed);
+        TapestryNetwork::build(TapestryConfig::default(), Box::new(space), build_seed)
+    }
+    let a = build(18);
+    let b = build(19);
+    let guid_a = Guid::from_u64(a.config().space, 0x5EED_CAFE);
+    let guid_b = Guid::from_u64(b.config().space, 0x5EED_CAFE);
+    let diverged = a.snapshot() != b.snapshot() || a.root_of(guid_a, 0) != b.root_of(guid_b, 0);
+    assert!(diverged, "different seeds must produce observably different networks");
+}
+
+#[test]
 fn identical_seeds_reproduce_identical_histories() {
     let a = full_scenario(71);
     let b = full_scenario(71);

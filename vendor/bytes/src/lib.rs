@@ -1,0 +1,247 @@
+//! Workspace-local, fully offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the wire format uses: [`BytesMut`] as a growable
+//! big-endian write buffer, [`Bytes`] as a cheaply sliceable read view
+//! with a consuming cursor, and the [`Buf`]/[`BufMut`] traits carrying the
+//! `get_*`/`put_*` accessors. All multi-byte integers are big-endian,
+//! matching the real crate's `get_u64`/`put_u64` family.
+
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable byte buffer with a read cursor.
+///
+/// `Deref`s to the *remaining* (unread) bytes, like the real crate.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A zero-copy sub-slice of the remaining bytes.
+    pub fn slice(&self, range: core::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && self.start + range.end <= self.end,
+            "slice out of bounds"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes { data: v.into(), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl core::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+/// A growable, mutable byte buffer for encoding.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut { data: v.to_vec() }
+    }
+}
+
+impl core::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl core::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+macro_rules! get_be {
+    ($self:ident, $t:ty) => {{
+        const N: usize = core::mem::size_of::<$t>();
+        assert!($self.remaining() >= N, "buffer underflow");
+        let mut raw = [0u8; N];
+        raw.copy_from_slice(&$self.chunk()[..N]);
+        $self.advance(N);
+        <$t>::from_be_bytes(raw)
+    }};
+}
+
+/// Read access to a byte cursor (big-endian accessors).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        get_be!(self, u8)
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        get_be!(self, u16)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        get_be!(self, u32)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        get_be!(self, u64)
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
+}
+
+/// Write access to a growable byte buffer (big-endian accessors).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(7);
+        b.put_u16(0xBEEF);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(0x0123_4567_89AB_CDEF);
+        b.put_f64(123.456);
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0xBEEF);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f64(), 123.456);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_and_mutate() {
+        let mut b = BytesMut::from(&[1u8, 2, 3, 4][..]);
+        b[0] = 9;
+        let f = b.freeze();
+        assert_eq!(&f[..], &[9, 2, 3, 4]);
+        let s = f.slice(1..3);
+        assert_eq!(&s[..], &[2, 3]);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,272 @@
+//! Workspace-local, fully offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so this shim implements
+//! the subset the workspace's property tests use: the [`proptest!`] macro
+//! over `name in range` strategies, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`, and `ProptestConfig::with_cases`. Instead of real
+//! shrinking, failures report the concrete sampled arguments; cases are
+//! sampled deterministically from a seed derived from the test name, so
+//! every run explores the same inputs and failures always reproduce.
+
+pub mod test_runner {
+    /// Error type carried by a failing property-test case.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Runner configuration. Only `cases` is honored by the shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic case-input generator (SplitMix64, seeded by test name).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(test_name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs and platforms.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of sampled values. The shim supports the range strategies
+    /// the workspace actually uses; values must be `Debug` so failing
+    /// cases can print their inputs.
+    pub trait Strategy {
+        type Value: core::fmt::Debug;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let width = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start.wrapping_add((rng.next_u64() as u128 % width) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let width = (end as u128) - (start as u128) + 1;
+                    start.wrapping_add((rng.next_u64() as u128 % width) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + (self.end - self.start) * unit
+        }
+    }
+}
+
+/// Define deterministic property tests over range strategies.
+///
+/// Supported grammar (a subset of real proptest):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(12))]  // optional
+///     #[test]
+///     fn my_prop(x in 0u64..100, y in 0usize..=8) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(__e) = __outcome {
+                        panic!(
+                            "proptest '{}' failed at case {}/{} with inputs [{}]: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __cfg.cases,
+                            __inputs.trim_end_matches(", "),
+                            __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in 3u64..9, b in 0usize..=4, f in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(b <= 4);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// Early `return Ok(())` (used by the workspace) must compile.
+        #[test]
+        fn early_return_ok(a in 0u32..10) {
+            if a < 10 {
+                return Ok(());
+            }
+            prop_assert_eq!(a, 99);
+        }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic(expected = "proptest 'always_fails' failed")]
+        fn always_fails(x in 0u8..4) {
+            prop_assert_ne!(x, x);
+        }
+    }
+}
