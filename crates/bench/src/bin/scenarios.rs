@@ -1,0 +1,162 @@
+//! **Scenario driver** — runs the named `tapestry-workload` presets and
+//! emits deterministic JSON/CSV reports with p50/p90/p99/p999 locate
+//! latency, hop counts, drop rates and invariant spot-checks.
+//!
+//! ```sh
+//! scenarios --list
+//! scenarios --preset steady-zipf --nodes 64 --ops 500
+//! scenarios --preset churn-storm --nodes 64 --ops 500 --json churn.json --csv churn.csv
+//! scenarios --preset all --json BENCH_scenarios.json   # the committed series
+//! ```
+//!
+//! Identical arguments (including `--seed`) produce bit-identical
+//! reports — `BENCH_scenarios.json` is regenerated with `--preset all`
+//! and diffed across PRs.
+
+use tapestry_bench::{f2, header, row};
+use tapestry_workload::{presets, runner, ScenarioReport};
+
+struct Args {
+    preset: String,
+    nodes: usize,
+    ops: u64,
+    seed: u64,
+    json: Option<String>,
+    csv: Option<String>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenarios --preset <name|all> [--nodes N] [--ops N] [--seed S]\n\
+         \x20                [--json PATH] [--csv PATH] [--quiet]\n\
+         \x20      scenarios --list\n\
+         presets: {}",
+        presets::PRESET_NAMES.join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        preset: String::new(),
+        nodes: 64,
+        ops: 500,
+        seed: 42,
+        json: None,
+        csv: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| {
+            eprintln!("missing value for {name}");
+            usage()
+        });
+        match a.as_str() {
+            "--preset" => args.preset = val("--preset"),
+            "--nodes" => args.nodes = val("--nodes").parse().unwrap_or_else(|_| usage()),
+            "--ops" => args.ops = val("--ops").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--json" => args.json = Some(val("--json")),
+            "--csv" => args.csv = Some(val("--csv")),
+            "--quiet" => args.quiet = true,
+            "--list" => {
+                for name in presets::PRESET_NAMES {
+                    println!("{name}");
+                }
+                std::process::exit(0)
+            }
+            _ => usage(),
+        }
+    }
+    if args.preset.is_empty() {
+        usage()
+    }
+    args
+}
+
+fn summarize(report: &ScenarioReport) {
+    header(&[
+        "scenario", "phase", "nodes", "issued", "ok", "lost", "lat_p50", "lat_p99", "hops_p50",
+        "hops_p99", "dropped", "cut_drop",
+    ]);
+    for p in &report.phases {
+        row(&[
+            report.scenario.clone(),
+            p.name.clone(),
+            format!("{}→{}", p.nodes_start, p.nodes_end),
+            p.ops.issued.to_string(),
+            p.ops.found_live.to_string(),
+            p.ops.lost.to_string(),
+            f2(p.latency.p50),
+            f2(p.latency.p99),
+            f2(p.hops.p50),
+            f2(p.hops.p99),
+            p.dropped.to_string(),
+            p.partition_dropped.to_string(),
+        ]);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let names: Vec<&str> = if args.preset == "all" {
+        presets::PRESET_NAMES.to_vec()
+    } else {
+        match presets::PRESET_NAMES.iter().find(|&&n| n == args.preset) {
+            Some(&n) => vec![n],
+            None => {
+                eprintln!("unknown preset '{}'", args.preset);
+                usage()
+            }
+        }
+    };
+
+    let mut reports = Vec::new();
+    for name in names {
+        let spec = presets::preset(name, args.nodes, args.ops, args.seed).expect("known preset");
+        match runner::run(&spec) {
+            Ok(r) => {
+                if !args.quiet {
+                    summarize(&r);
+                    println!();
+                }
+                reports.push(r);
+            }
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                std::process::exit(1)
+            }
+        }
+    }
+
+    // JSON: a single report object, or an array for `--preset all`.
+    let json = if reports.len() == 1 {
+        reports[0].to_json()
+    } else {
+        let mut s = String::from("[");
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&r.to_json());
+        }
+        s.push(']');
+        s
+    };
+    match &args.json {
+        Some(path) => std::fs::write(path, &json).expect("write json report"),
+        None if args.quiet => println!("{json}"),
+        None => {}
+    }
+    if let Some(path) = &args.csv {
+        let mut csv = String::new();
+        for (i, r) in reports.iter().enumerate() {
+            let full = r.to_csv();
+            // One shared header row for the whole file.
+            csv.push_str(if i == 0 { &full } else { full.split_once('\n').unwrap().1 });
+        }
+        std::fs::write(path, csv).expect("write csv report");
+    }
+}

@@ -44,9 +44,9 @@ mod routing_table;
 pub mod wire;
 
 pub use config::{RoutingScheme, TapestryConfig};
-pub use messages::{Msg, OpId, RoutedKind, RoutedMsg, Timer};
+pub use messages::{Msg, OpId, RoutedKind, RoutedMsg, Timer, WirePtr};
 pub use neighbor_set::{AddOutcome, NeighborSet};
-pub use network::{LocateResult, NetworkSnapshot, TapestryNetwork};
+pub use network::{LocateHook, LocateResult, NetworkSnapshot, TapestryNetwork};
 pub use node::{NodeStatus, TapestryNode};
 pub use object_store::{ObjectStore, PtrEntry};
 pub use refs::NodeRef;

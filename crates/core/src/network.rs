@@ -73,9 +73,17 @@ pub struct TapestryNetwork {
     members: BTreeSet<NodeIdx>,
     rng: StdRng,
     seed: u64,
+    /// Per-op completion callback, invoked once for every locate result
+    /// collected through [`TapestryNetwork::take_results`] /
+    /// [`TapestryNetwork::drain_results`].
+    locate_hook: Option<LocateHook>,
     /// Event budget for each `run_to_idle` call.
     pub max_events_per_op: u64,
 }
+
+/// Callback observing every completed locate as the driver collects it
+/// (workload runners harvest latency/hop distributions this way).
+pub type LocateHook = Box<dyn FnMut(&LocateResult) + Send>;
 
 impl TapestryNetwork {
     /// Statically build a fully populated network: every point of the
@@ -125,6 +133,7 @@ impl TapestryNetwork {
             members: BTreeSet::new(),
             rng,
             seed,
+            locate_hook: None,
             max_events_per_op: 20_000_000,
         }
     }
@@ -261,12 +270,90 @@ impl TapestryNetwork {
         self.engine.inject(origin, Msg::AppLocate { guid });
     }
 
-    /// Collect finished locate results queued at `origin`.
+    /// Collect finished locate results queued at `origin`. Each result
+    /// passes through the completion hook (if set) exactly once.
     pub fn take_results(&mut self, origin: NodeIdx) -> Vec<LocateResult> {
-        self.engine
+        let results = self
+            .engine
             .node_mut(origin)
             .map(|n| n.take_locate_results())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        if let Some(hook) = self.locate_hook.as_mut() {
+            for r in &results {
+                hook(r);
+            }
+        }
+        results
+    }
+
+    /// Collect finished locate results from *every* live member, in node
+    /// order — the harvesting step of a workload runner that issues many
+    /// concurrent async locates from different origins.
+    pub fn drain_results(&mut self) -> Vec<LocateResult> {
+        let mut all = Vec::new();
+        for idx in self.node_ids() {
+            all.extend(self.take_results(idx));
+        }
+        all
+    }
+
+    /// Install a per-op completion callback observing every collected
+    /// locate result (replaces any previous hook).
+    pub fn set_locate_hook(&mut self, hook: LocateHook) {
+        self.locate_hook = Some(hook);
+    }
+
+    /// Remove the completion callback.
+    pub fn clear_locate_hook(&mut self) {
+        self.locate_hook = None;
+    }
+
+    // ------------------------------ partitions -----------------------------
+
+    /// Impose a network partition: point `i` joins group `groups[i]` and
+    /// messages crossing group boundaries are dropped at delivery
+    /// (counted in `SimStats::partition_dropped`). Timers and externally
+    /// injected application requests still fire.
+    pub fn set_partition(&mut self, groups: Vec<u32>) {
+        self.engine.set_partition(groups);
+    }
+
+    /// Sort point indices by metric distance to `pivot`, ties broken by
+    /// index (used for partition cuts and correlated-failure selection).
+    pub fn rank_by_distance(&self, pivot: NodeIdx, mut points: Vec<NodeIdx>) -> Vec<NodeIdx> {
+        points.sort_by(|&a, &b| {
+            self.engine
+                .metric()
+                .distance(pivot, a)
+                .partial_cmp(&self.engine.metric().distance(pivot, b))
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        points
+    }
+
+    /// Split the network in two along the metric: the half of all points
+    /// nearest to `pivot` (by metric distance, ties by index) form group
+    /// 1, the rest group 0. Returns the group assignment applied.
+    pub fn partition_around(&mut self, pivot: NodeIdx) -> Vec<u32> {
+        let n = self.ids.len();
+        let order = self.rank_by_distance(pivot, (0..n).collect());
+        let mut groups = vec![0u32; n];
+        for &idx in order.iter().take(n / 2) {
+            groups[idx] = 1;
+        }
+        self.engine.set_partition(groups.clone());
+        groups
+    }
+
+    /// Heal any active partition.
+    pub fn heal_partition(&mut self) {
+        self.engine.clear_partition();
+    }
+
+    /// Is a partition currently in force?
+    pub fn partition_active(&self) -> bool {
+        self.engine.partition_active()
     }
 
     /// Dynamically insert the node at point `idx` (Fig. 7) through a
@@ -317,6 +404,28 @@ impl TapestryNetwork {
         done
     }
 
+    /// Start a voluntary departure without draining (workload runners
+    /// interleave departures with live traffic). Poll with
+    /// [`TapestryNetwork::finish_leave_bookkeeping`] once the protocol has
+    /// had time to run.
+    pub fn leave_async(&mut self, idx: NodeIdx) {
+        assert!(self.engine.alive(idx), "leave from dead node");
+        self.engine.inject(idx, Msg::AppLeave);
+    }
+
+    /// If the Fig. 12 protocol started by [`TapestryNetwork::leave_async`]
+    /// has finished, remove the node and report `true`; otherwise leave it
+    /// in place (it keeps serving until the final round completes).
+    pub fn finish_leave_bookkeeping(&mut self, idx: NodeIdx) -> bool {
+        if self.engine.node(idx).is_some_and(|n| n.leave_finished()) {
+            self.engine.remove_node(idx);
+            self.members.remove(&idx);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Involuntary failure: the node vanishes without warning (§5.2).
     pub fn kill(&mut self, idx: NodeIdx) {
         self.engine.remove_node(idx);
@@ -326,20 +435,31 @@ impl TapestryNetwork {
     /// Trigger one failure-detection probe round on every live node and
     /// drain (the experiments' stand-in for periodic heartbeats).
     pub fn probe_all(&mut self) {
+        self.probe_all_async();
+        self.run_to_idle();
+    }
+
+    /// Start a probe round on every live node without draining (workload
+    /// runners let detection deadlines fire amid ongoing traffic).
+    pub fn probe_all_async(&mut self) {
         for idx in self.node_ids() {
             self.engine.inject(idx, Msg::AppProbe);
         }
-        self.run_to_idle();
     }
 
     /// Run one §6.4 continual-optimization round on every live node:
     /// each node shares its per-level neighbor rows with the neighbors at
     /// that level, restoring Property 2 quality degraded by churn.
     pub fn optimize_all(&mut self) {
+        self.optimize_all_async();
+        self.run_to_idle();
+    }
+
+    /// Start a §6.4 optimization round without draining.
+    pub fn optimize_all_async(&mut self) {
         for idx in self.node_ids() {
             self.engine.inject(idx, Msg::AppOptimize);
         }
-        self.run_to_idle();
     }
 
     /// Locate with retries (Observation 1): with `roots_per_object > 1`

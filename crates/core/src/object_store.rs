@@ -1,5 +1,5 @@
 use crate::refs::NodeRef;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use tapestry_id::Guid;
 use tapestry_sim::{NodeIdx, SimTime};
 
@@ -26,7 +26,7 @@ pub struct PtrEntry {
 #[derive(Debug, Clone, Default)]
 pub struct ObjectStore {
     ptrs: BTreeMap<Guid, Vec<PtrEntry>>,
-    local: BTreeMap<Guid, ()>,
+    local: BTreeSet<Guid>,
 }
 
 impl ObjectStore {
@@ -36,24 +36,29 @@ impl ObjectStore {
     }
 
     /// Record that this node stores a replica of `guid` (it is a storage
-    /// server for the object).
-    pub fn store_local(&mut self, guid: Guid) {
-        self.local.insert(guid, ());
+    /// server for the object). Returns `false` when already recorded.
+    pub fn store_local(&mut self, guid: Guid) -> bool {
+        self.local.insert(guid)
     }
 
     /// Drop the local replica.
     pub fn remove_local(&mut self, guid: Guid) -> bool {
-        self.local.remove(&guid).is_some()
+        self.local.remove(&guid)
     }
 
     /// Does this node store the object itself?
     pub fn has_local(&self, guid: Guid) -> bool {
-        self.local.contains_key(&guid)
+        self.local.contains(&guid)
     }
 
-    /// All locally stored objects.
+    /// Number of locally stored replicas.
+    pub fn local_count(&self) -> usize {
+        self.local.len()
+    }
+
+    /// All locally stored objects, in GUID order.
     pub fn local_objects(&self) -> impl Iterator<Item = Guid> + '_ {
-        self.local.keys().copied()
+        self.local.iter().copied()
     }
 
     /// Deposit or refresh a pointer. Refreshing updates expiry, last hop
@@ -195,11 +200,15 @@ mod tests {
     #[test]
     fn local_replicas_tracked_separately() {
         let mut st = ObjectStore::new();
-        st.store_local(g(9));
+        assert!(st.store_local(g(9)));
+        assert!(!st.store_local(g(9)), "second store of the same replica is a no-op");
         assert!(st.has_local(g(9)));
         assert!(!st.has_local(g(8)));
+        assert_eq!(st.local_count(), 1);
         assert_eq!(st.local_objects().collect::<Vec<_>>(), vec![g(9)]);
         assert!(st.remove_local(g(9)));
+        assert!(!st.remove_local(g(9)));
         assert!(!st.has_local(g(9)));
+        assert_eq!(st.local_count(), 0);
     }
 }

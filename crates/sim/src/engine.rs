@@ -76,6 +76,11 @@ impl<M, T> Ctx<'_, M, T> {
     pub fn count(&mut self, name: &'static str, v: u64) {
         self.stats.add(name, v);
     }
+
+    /// Record a sample into a named statistics histogram.
+    pub fn record(&mut self, name: &'static str, v: u64) {
+        self.stats.record(name, v);
+    }
 }
 
 enum Event<M, T> {
@@ -117,6 +122,11 @@ pub struct Engine<A: Actor> {
     stats: SimStats,
     proc_delay: SimTime,
     out_buf: Vec<Effect<A::Msg, A::Timer>>,
+    /// Active network partition: group id per point. Messages whose
+    /// endpoints fall in different groups are dropped at delivery time
+    /// (so a heal lets *later* sends through but cannot resurrect
+    /// messages lost while the cut was up).
+    partition: Option<Vec<u32>>,
 }
 
 impl<A: Actor> Engine<A> {
@@ -138,6 +148,7 @@ impl<A: Actor> Engine<A> {
             stats: SimStats::default(),
             proc_delay,
             out_buf: Vec::new(),
+            partition: None,
         }
     }
 
@@ -197,6 +208,28 @@ impl<A: Actor> Engine<A> {
         self.actors.get_mut(idx).and_then(|a| a.as_mut())
     }
 
+    /// Partition the network: point `i` belongs to group `groups[i]`, and
+    /// node-to-node messages crossing group boundaries are dropped at
+    /// delivery time (counted in [`SimStats::partition_dropped`]).
+    /// Externally injected messages and timers are unaffected.
+    ///
+    /// # Panics
+    /// If `groups` does not assign a group to every point.
+    pub fn set_partition(&mut self, groups: Vec<u32>) {
+        assert_eq!(groups.len(), self.actors.len(), "one group per point");
+        self.partition = Some(groups);
+    }
+
+    /// Heal the partition: all subsequent deliveries go through again.
+    pub fn clear_partition(&mut self) {
+        self.partition = None;
+    }
+
+    /// Is a partition currently in force?
+    pub fn partition_active(&self) -> bool {
+        self.partition.is_some()
+    }
+
     /// Inject a message from outside the network; it is delivered to `to`
     /// after the processing delay.
     pub fn inject(&mut self, to: NodeIdx, msg: A::Msg) {
@@ -227,7 +260,15 @@ impl<A: Actor> Engine<A> {
         debug_assert!(sch.at >= self.now, "time went backwards");
         self.now = sch.at;
         let (node, work) = match sch.ev {
-            Event::Deliver { from, to, msg } => (to, Work::Msg(from, msg)),
+            Event::Deliver { from, to, msg } => {
+                if let Some(groups) = &self.partition {
+                    if from != EXTERNAL && groups[from] != groups[to] {
+                        self.stats.partition_dropped += 1;
+                        return true;
+                    }
+                }
+                (to, Work::Msg(from, msg))
+            }
             Event::Fire { node, timer } => (node, Work::Timer(timer)),
         };
         let Some(mut actor) = self.actors.get_mut(node).and_then(Option::take) else {
@@ -411,6 +452,30 @@ mod tests {
             (e.stats().messages, e.stats().distance.to_bits(), e.now())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn partition_blocks_delivery_until_healed() {
+        let mut e = engine2();
+        e.set_partition(vec![0, 1]);
+        e.inject(0, 5); // node 0 receives (external), reply to 1 is cut
+        e.run_until_idle(100);
+        assert_eq!(e.stats().partition_dropped, 1);
+        assert_eq!(e.node(1).unwrap().received, 0);
+        // After healing, traffic flows end to end again.
+        e.clear_partition();
+        assert!(!e.partition_active());
+        e.inject(0, 2);
+        e.run_until_idle(100);
+        assert_eq!(e.node(1).unwrap().received, 1);
+        assert_eq!(e.stats().partition_dropped, 1, "heal does not resurrect lost messages");
+    }
+
+    #[test]
+    #[should_panic]
+    fn partition_requires_group_per_point() {
+        let mut e = engine2();
+        e.set_partition(vec![0]);
     }
 
     #[test]

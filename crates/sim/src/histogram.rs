@@ -1,0 +1,246 @@
+use std::collections::BTreeMap;
+
+/// Number of sub-buckets per power of two; values below `2^LINEAR_BITS`
+/// are counted exactly.
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS; // 32 sub-buckets per octave
+const LINEAR_BITS: u32 = SUB_BITS + 1;
+const LINEAR: u64 = 1 << LINEAR_BITS; // values < 64 are exact
+
+/// A log-bucketed histogram of `u64` samples (latencies, hop counts,
+/// distances in integer units).
+///
+/// Values below 64 are recorded exactly; larger values fall into one of
+/// 32 sub-buckets per power of two, bounding the relative quantile error
+/// at 1/32 ≈ 3%. Buckets are kept sparsely in a `BTreeMap`, so iteration
+/// order — and therefore every percentile and report derived from it —
+/// is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+fn bucket_of(v: u64) -> u32 {
+    if v < LINEAR {
+        return v as u32;
+    }
+    let exp = 63 - v.leading_zeros(); // ≥ LINEAR_BITS
+    let sub = ((v >> (exp - SUB_BITS)) & (SUB - 1)) as u32;
+    LINEAR as u32 + (exp - LINEAR_BITS) * SUB as u32 + sub
+}
+
+/// Lower bound of a bucket (the deterministic representative value).
+fn bucket_low(idx: u32) -> u64 {
+    if (idx as u64) < LINEAR {
+        return idx as u64;
+    }
+    let rel = idx - LINEAR as u32;
+    let exp = LINEAR_BITS + rel / SUB as u32;
+    let sub = (rel % SUB as u32) as u64;
+    (1u64 << exp) | (sub << (exp - SUB_BITS))
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v as u128;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Arithmetic mean of the exact samples (0 for empty input).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-th percentile (0 ≤ q ≤ 100) as the lower bound of the
+    /// bucket holding the nearest-rank sample. Exact for values < 64,
+    /// within 1/32 relative error above. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (&idx, &c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                // Clamp to the true extremes so p0/p100 are exact.
+                return bucket_low(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// p90.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// p99.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// p99.9.
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (&idx, &c) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += c;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.percentile(50.0), 31);
+        assert_eq!(h.percentile(100.0), 63);
+    }
+
+    #[test]
+    fn large_values_bounded_relative_error() {
+        let mut h = Histogram::new();
+        for v in [1_000u64, 10_000, 100_000, 1_000_000] {
+            h.record(v);
+            let b = bucket_low(bucket_of(v));
+            assert!(b <= v, "bucket lower bound exceeds value");
+            assert!((v - b) as f64 / v as f64 <= 1.0 / 32.0 + 1e-12, "error too large for {v}");
+        }
+    }
+
+    #[test]
+    fn percentiles_monotone_and_clamped() {
+        let mut h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record(i * 97 + 5);
+        }
+        let ps: Vec<u64> =
+            [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0].iter().map(|&q| h.percentile(q)).collect();
+        for w in ps.windows(2) {
+            assert!(w[0] <= w[1], "percentiles must be monotone: {ps:?}");
+        }
+        assert_eq!(h.percentile(0.0), h.min());
+        assert_eq!(h.percentile(100.0), h.max());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_matches_recording_directly() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for i in 0..500u64 {
+            let v = i * 13 + 7;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for q in [50.0, 90.0, 99.0] {
+            assert_eq!(a.percentile(q), all.percentile(q));
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(90);
+        assert!((h.mean() - 40.0).abs() < 1e-12);
+    }
+}

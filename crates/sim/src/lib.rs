@@ -14,9 +14,11 @@
 //!   by a global sequence number and all randomness is seeded upstream.
 
 mod engine;
+mod histogram;
 mod stats;
 mod time;
 
 pub use engine::{Actor, Ctx, Engine, NodeIdx, EXTERNAL};
+pub use histogram::Histogram;
 pub use stats::SimStats;
 pub use time::SimTime;

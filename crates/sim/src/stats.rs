@@ -1,3 +1,4 @@
+use crate::Histogram;
 use std::collections::BTreeMap;
 
 /// Global cost counters for one simulation run.
@@ -7,18 +8,23 @@ use std::collections::BTreeMap;
 /// "network latency" or "traffic"), and drops (sends to departed nodes).
 /// Named counters let higher layers attribute costs to logical operations
 /// ("insert.multicast", "locate.hops", …) without the engine knowing
-/// anything about Tapestry.
+/// anything about Tapestry. Named histograms do the same for per-operation
+/// *distributions* (locate latency, hop counts) so drivers can report
+/// percentiles, not just totals.
 #[derive(Debug, Default, Clone)]
 pub struct SimStats {
     /// Total messages delivered or in flight.
     pub messages: u64,
-    /// Sum of metric distances of all sends.
-    pub distance: f64,
     /// Messages addressed to nodes that had already left.
     pub dropped: u64,
+    /// Messages dropped at an active partition cut (never delivered).
+    pub partition_dropped: u64,
+    /// Sum of metric distances of all sends.
+    pub distance: f64,
     /// Timer events fired.
     pub timers: u64,
     named: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
 }
 
 impl SimStats {
@@ -35,6 +41,22 @@ impl SimStats {
     /// All named counters, sorted by name (deterministic output).
     pub fn named(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.named.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Record one sample into the named histogram, creating it on first
+    /// use (mirrors [`SimStats::add`] for distributions).
+    pub fn record(&mut self, name: &'static str, v: u64) {
+        self.hists.entry(name).or_default().record(v);
+    }
+
+    /// Read a named histogram (`None` when never recorded into).
+    pub fn histogram(&self, name: &'static str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// All named histograms, sorted by name (deterministic output).
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.hists.iter().map(|(&k, v)| (k, v))
     }
 
     /// Snapshot the difference `self - earlier` for the builtin counters —
@@ -69,6 +91,20 @@ mod tests {
         s.add("a", 2);
         let names: Vec<_> = s.named().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn named_histograms_record_and_report() {
+        let mut s = SimStats::default();
+        for v in [10u64, 20, 30, 40] {
+            s.record("locate.latency", v);
+        }
+        let h = s.histogram("locate.latency").expect("recorded");
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.p50(), 20);
+        assert!(s.histogram("never").is_none());
+        let names: Vec<_> = s.histograms().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["locate.latency"]);
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Scripted membership dynamics: Poisson join/leave churn, diurnal churn
+//! waves, correlated mass failures, and partition/heal cuts.
+//!
+//! A [`ChurnSpec`] expands into a sorted list of timed [`ChurnEvent`]s at
+//! phase start; the runner interleaves them with the traffic stream. Like
+//! the traffic sources, expansion is a pure function of `(spec, rng)`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tapestry_sim::SimTime;
+
+/// One scripted membership dynamic within a phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnSpec {
+    /// Independent Poisson join and leave processes (§4 dynamic
+    /// algorithms under continuous churn).
+    Churn {
+        /// Expected joins over the phase.
+        joins: u64,
+        /// Expected departures over the phase.
+        leaves: u64,
+        /// Voluntary (Fig. 12) departures when `true`; unannounced kills
+        /// (§5.2) when `false`.
+        graceful: bool,
+        /// Never shrink the network below this many live nodes.
+        min_nodes: usize,
+    },
+    /// Diurnal churn waves over `cycles` "days": joins crest in the first
+    /// half of each cycle, departures in the second half (sinusoidal
+    /// rate modulation, sampled by thinning).
+    Diurnal {
+        /// Number of join/leave waves across the phase.
+        cycles: u32,
+        /// Expected joins over the whole phase.
+        joins: u64,
+        /// Expected departures over the whole phase.
+        leaves: u64,
+        /// Never shrink the network below this many live nodes.
+        min_nodes: usize,
+    },
+    /// A correlated mass failure: at phase fraction `at`, kill `fraction`
+    /// of the live nodes at once — either the spatially clustered nodes
+    /// nearest a random pivot (`correlated`, a rack/AZ loss) or a uniform
+    /// sample (independent failures).
+    MassFailure {
+        /// When within the phase (0 ≤ at ≤ 1).
+        at: f64,
+        /// Fraction of live nodes to kill (0 ≤ fraction < 1).
+        fraction: f64,
+        /// Cluster the victims around a random pivot?
+        correlated: bool,
+    },
+    /// Cut the network in two at phase fraction `at` and heal it at
+    /// `heal_at` (both relative to the phase; `at < heal_at`).
+    Partition {
+        /// When the cut comes up.
+        at: f64,
+        /// When it heals.
+        heal_at: f64,
+    },
+    /// One §5.2 failure-detection probe round on every node at phase
+    /// fraction `at`.
+    ProbeAt {
+        /// When within the phase.
+        at: f64,
+    },
+    /// One §6.4 continual-optimization round at phase fraction `at`.
+    OptimizeAt {
+        /// When within the phase.
+        at: f64,
+    },
+}
+
+/// A timed, concrete membership event produced by expanding a spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnEvent {
+    /// Insert one node dynamically (Fig. 7) via a random gateway.
+    Join,
+    /// Remove one node.
+    Leave {
+        /// Voluntary (Fig. 12) vs unannounced kill.
+        graceful: bool,
+        /// Floor below which the event is skipped.
+        min_nodes: usize,
+    },
+    /// Kill `fraction` of live nodes at once.
+    MassFailure {
+        /// Fraction of live nodes to kill.
+        fraction: f64,
+        /// Cluster victims around a pivot?
+        correlated: bool,
+    },
+    /// Impose a two-way partition around a random pivot.
+    PartitionStart,
+    /// Heal the partition.
+    Heal,
+    /// Probe round on every live node.
+    Probe,
+    /// Optimization round on every live node.
+    Optimize,
+}
+
+impl ChurnSpec {
+    /// Expand into timed events within `[start, end)`, sorted ascending.
+    pub fn events(&self, start: SimTime, end: SimTime, rng: &mut StdRng) -> Vec<(SimTime, ChurnEvent)> {
+        let span = (end.0.saturating_sub(start.0)) as f64;
+        if span <= 0.0 {
+            return Vec::new();
+        }
+        let at_time = |frac: f64| SimTime(start.0 + (span * frac.clamp(0.0, 1.0)) as u64);
+        let mut out = Vec::new();
+        match *self {
+            ChurnSpec::Churn { joins, leaves, graceful, min_nodes } => {
+                for t in poisson_times(joins, start, end, rng) {
+                    out.push((t, ChurnEvent::Join));
+                }
+                for t in poisson_times(leaves, start, end, rng) {
+                    out.push((t, ChurnEvent::Leave { graceful, min_nodes }));
+                }
+            }
+            ChurnSpec::Diurnal { cycles, joins, leaves, min_nodes } => {
+                let cycles = cycles.max(1);
+                for t in wave_times(joins, cycles, false, start, end, rng) {
+                    out.push((t, ChurnEvent::Join));
+                }
+                for t in wave_times(leaves, cycles, true, start, end, rng) {
+                    out.push((t, ChurnEvent::Leave { graceful: true, min_nodes }));
+                }
+            }
+            ChurnSpec::MassFailure { at, fraction, correlated } => {
+                out.push((at_time(at), ChurnEvent::MassFailure { fraction, correlated }));
+            }
+            ChurnSpec::Partition { at, heal_at } => {
+                assert!(at < heal_at, "partition must heal after it starts");
+                out.push((at_time(at), ChurnEvent::PartitionStart));
+                out.push((at_time(heal_at), ChurnEvent::Heal));
+            }
+            ChurnSpec::ProbeAt { at } => out.push((at_time(at), ChurnEvent::Probe)),
+            ChurnSpec::OptimizeAt { at } => out.push((at_time(at), ChurnEvent::Optimize)),
+        }
+        out.sort_by_key(|&(t, _)| t);
+        out
+    }
+}
+
+/// Homogeneous Poisson event times: `expected` arrivals over the window
+/// (the same process [`crate::traffic::Arrival::Poisson`] uses).
+fn poisson_times(expected: u64, start: SimTime, end: SimTime, rng: &mut StdRng) -> Vec<SimTime> {
+    crate::traffic::Arrival::Poisson { ops: expected }.times(start, end, rng)
+}
+
+/// Sinusoidal-wave event times by thinning: the rate follows
+/// `max(0, sin(2π·cycles·x))` over phase fraction `x` (or its negation
+/// for `antiphase`), normalized to `expected` total arrivals.
+fn wave_times(
+    expected: u64,
+    cycles: u32,
+    antiphase: bool,
+    start: SimTime,
+    end: SimTime,
+    rng: &mut StdRng,
+) -> Vec<SimTime> {
+    if expected == 0 {
+        return Vec::new();
+    }
+    let span = (end.0 - start.0) as f64;
+    // ∫ max(0, sin(2π·c·x)) dx over [0,1] = 1/π, so the peak rate that
+    // yields `expected` arrivals is expected·π/span.
+    let lam_max = expected as f64 * std::f64::consts::PI / span;
+    let mut out = Vec::new();
+    let mut t = start.0 as f64;
+    loop {
+        t += crate::traffic::exp_gap(rng, lam_max);
+        if t >= end.0 as f64 {
+            break;
+        }
+        let x = (t - start.0 as f64) / span;
+        let mut s = (2.0 * std::f64::consts::PI * cycles as f64 * x).sin();
+        if antiphase {
+            s = -s;
+        }
+        if s > 0.0 && rng.gen_range(0.0..1.0) < s {
+            out.push(SimTime(t as u64));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn churn_expands_to_joins_and_leaves() {
+        let spec = ChurnSpec::Churn { joins: 50, leaves: 30, graceful: true, min_nodes: 8 };
+        let evs = spec.events(SimTime(0), SimTime(1_000_000), &mut rng());
+        let joins = evs.iter().filter(|(_, e)| matches!(e, ChurnEvent::Join)).count();
+        let leaves = evs.iter().filter(|(_, e)| matches!(e, ChurnEvent::Leave { .. })).count();
+        assert!(joins > 25 && joins < 80, "{joins}");
+        assert!(leaves > 12 && leaves < 55, "{leaves}");
+        assert!(evs.windows(2).all(|w| w[0].0 <= w[1].0), "sorted");
+    }
+
+    #[test]
+    fn diurnal_waves_alternate_join_and_leave_crests() {
+        let spec = ChurnSpec::Diurnal { cycles: 1, joins: 200, leaves: 200, min_nodes: 8 };
+        let evs = spec.events(SimTime(0), SimTime(1_000_000), &mut rng());
+        // With one cycle, joins crest in the first half, leaves in the second.
+        let early_joins = evs
+            .iter()
+            .filter(|(t, e)| matches!(e, ChurnEvent::Join) && t.0 < 500_000)
+            .count();
+        let late_joins =
+            evs.iter().filter(|(_, e)| matches!(e, ChurnEvent::Join)).count() - early_joins;
+        assert!(early_joins > late_joins * 3, "{early_joins} vs {late_joins}");
+        let late_leaves = evs
+            .iter()
+            .filter(|(t, e)| matches!(e, ChurnEvent::Leave { .. }) && t.0 >= 500_000)
+            .count();
+        let early_leaves =
+            evs.iter().filter(|(_, e)| matches!(e, ChurnEvent::Leave { .. })).count() - late_leaves;
+        assert!(late_leaves > early_leaves * 3, "{early_leaves} vs {late_leaves}");
+    }
+
+    #[test]
+    fn partition_orders_cut_before_heal() {
+        let spec = ChurnSpec::Partition { at: 0.2, heal_at: 0.7 };
+        let evs = spec.events(SimTime(0), SimTime(10_000), &mut rng());
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].1, ChurnEvent::PartitionStart);
+        assert_eq!(evs[1].1, ChurnEvent::Heal);
+        assert!(evs[0].0 < evs[1].0);
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let spec = ChurnSpec::Churn { joins: 40, leaves: 40, graceful: false, min_nodes: 4 };
+        let a = spec.events(SimTime(0), SimTime(500_000), &mut rng());
+        let b = spec.events(SimTime(0), SimTime(500_000), &mut rng());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,187 @@
+//! Named scenario presets — the workloads `BENCH_scenarios.json` tracks
+//! across PRs. Each is parameterized by network size, total operation
+//! budget and seed so CI smoke runs and full benchmark runs share one
+//! definition.
+
+use crate::churn::ChurnSpec;
+use crate::spec::{PhaseSpec, ScenarioSpec};
+use crate::traffic::{Arrival, Popularity};
+use tapestry_core::TapestryConfig;
+use tapestry_sim::SimTime;
+
+/// Every preset name, in report order.
+pub const PRESET_NAMES: &[&str] =
+    &["steady-zipf", "flash-crowd", "churn-storm", "partition-heal", "mass-failure"];
+
+/// A config tuned for scripted churn: failure detection must conclude
+/// within a phase, so the probe deadline is shortened from the 50k-unit
+/// default to a few network diameters.
+fn churn_config() -> TapestryConfig {
+    TapestryConfig { insert_level_timeout: SimTime::from_distance(5_000.0), ..Default::default() }
+}
+
+fn d(units: f64) -> SimTime {
+    SimTime::from_distance(units)
+}
+
+/// Build the named preset for a network of `nodes` nodes and roughly
+/// `ops` locate/publish operations. Returns `None` for unknown names.
+pub fn preset(name: &str, nodes: usize, ops: u64, seed: u64) -> Option<ScenarioSpec> {
+    let objects = (nodes / 2).max(8);
+    let spec = match name {
+        "steady-zipf" => ScenarioSpec::new(name)
+            .capacity(nodes)
+            .initial_nodes(nodes)
+            .objects(objects)
+            .phase(
+                PhaseSpec::new("warmup", d(15_000.0))
+                    .arrival(Arrival::Even { ops: ops / 5 })
+                    .popularity(Popularity::Uniform)
+                    .checked(),
+            )
+            .phase(
+                PhaseSpec::new("steady", d(60_000.0))
+                    .arrival(Arrival::Poisson { ops: ops * 4 / 5 })
+                    .popularity(Popularity::Zipf { exponent: 1.1 })
+                    .writes(0.1)
+                    .checked(),
+            ),
+        "flash-crowd" => ScenarioSpec::new(name)
+            .capacity(nodes)
+            .initial_nodes(nodes)
+            .objects(objects)
+            .phase(
+                PhaseSpec::new("calm", d(15_000.0))
+                    .arrival(Arrival::Even { ops: ops / 4 })
+                    .popularity(Popularity::Zipf { exponent: 0.9 })
+                    .checked(),
+            )
+            .phase(
+                PhaseSpec::new("flash", d(40_000.0))
+                    .arrival(Arrival::FlashCrowd { ops: ops / 2, peak_ratio: 8.0 })
+                    .popularity(Popularity::Hotspot { hot: 0, weight: 0.8 })
+                    .writes(0.02),
+            )
+            .phase(
+                PhaseSpec::new("cooldown", d(20_000.0))
+                    .arrival(Arrival::Poisson { ops: ops / 4 })
+                    .popularity(Popularity::Zipf { exponent: 0.9 })
+                    .checked(),
+            ),
+        "churn-storm" => ScenarioSpec::new(name)
+            .config(churn_config())
+            .capacity(nodes + nodes / 2)
+            .initial_nodes(nodes)
+            .objects(objects)
+            .phase(
+                PhaseSpec::new("warmup", d(15_000.0))
+                    .arrival(Arrival::Even { ops: ops / 4 })
+                    .popularity(Popularity::Zipf { exponent: 1.1 })
+                    .checked(),
+            )
+            .phase(
+                PhaseSpec::new("storm", d(80_000.0))
+                    .arrival(Arrival::Poisson { ops: ops / 2 })
+                    .popularity(Popularity::Zipf { exponent: 1.1 })
+                    .writes(0.1)
+                    .churn(ChurnSpec::Churn {
+                        joins: (nodes / 4) as u64,
+                        leaves: (nodes / 4) as u64,
+                        graceful: false,
+                        min_nodes: nodes / 2,
+                    })
+                    .churn(ChurnSpec::ProbeAt { at: 0.35 })
+                    .churn(ChurnSpec::ProbeAt { at: 0.7 }),
+            )
+            .phase(
+                PhaseSpec::new("recovery", d(30_000.0))
+                    .arrival(Arrival::Poisson { ops: ops / 4 })
+                    .popularity(Popularity::Zipf { exponent: 1.1 })
+                    .writes(0.5)
+                    .churn(ChurnSpec::ProbeAt { at: 0.05 })
+                    .churn(ChurnSpec::OptimizeAt { at: 0.3 })
+                    .checked(),
+            ),
+        "partition-heal" => ScenarioSpec::new(name)
+            .config(churn_config())
+            .capacity(nodes)
+            .initial_nodes(nodes)
+            .objects(objects)
+            .phase(
+                PhaseSpec::new("warmup", d(15_000.0))
+                    .arrival(Arrival::Even { ops: ops / 4 })
+                    .popularity(Popularity::Uniform)
+                    .checked(),
+            )
+            .phase(
+                PhaseSpec::new("partitioned", d(50_000.0))
+                    .arrival(Arrival::Poisson { ops: ops / 2 })
+                    .popularity(Popularity::Uniform)
+                    .churn(ChurnSpec::Partition { at: 0.1, heal_at: 0.6 })
+                    .churn(ChurnSpec::ProbeAt { at: 0.75 }),
+            )
+            .phase(
+                PhaseSpec::new("recovery", d(30_000.0))
+                    .arrival(Arrival::Poisson { ops: ops / 4 })
+                    .popularity(Popularity::Uniform)
+                    .writes(0.3)
+                    .churn(ChurnSpec::ProbeAt { at: 0.05 })
+                    .checked(),
+            ),
+        "mass-failure" => ScenarioSpec::new(name)
+            .config(churn_config())
+            .capacity(nodes)
+            .initial_nodes(nodes)
+            .objects(objects)
+            .phase(
+                PhaseSpec::new("warmup", d(15_000.0))
+                    .arrival(Arrival::Even { ops: ops / 4 })
+                    .popularity(Popularity::Zipf { exponent: 1.0 })
+                    .checked(),
+            )
+            .phase(
+                PhaseSpec::new("failure", d(60_000.0))
+                    .arrival(Arrival::Poisson { ops: ops / 2 })
+                    .popularity(Popularity::Zipf { exponent: 1.0 })
+                    .churn(ChurnSpec::MassFailure { at: 0.2, fraction: 0.25, correlated: true })
+                    .churn(ChurnSpec::ProbeAt { at: 0.4 })
+                    .churn(ChurnSpec::ProbeAt { at: 0.7 }),
+            )
+            .phase(
+                PhaseSpec::new("recovery", d(30_000.0))
+                    .arrival(Arrival::Poisson { ops: ops / 4 })
+                    .popularity(Popularity::Zipf { exponent: 1.0 })
+                    .writes(0.5)
+                    .churn(ChurnSpec::ProbeAt { at: 0.05 })
+                    .churn(ChurnSpec::OptimizeAt { at: 0.3 })
+                    .checked(),
+            ),
+        _ => return None,
+    };
+    Some(spec.seed(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_builds_and_validates() {
+        for &name in PRESET_NAMES {
+            let spec = preset(name, 64, 500, 42).expect(name);
+            assert_eq!(spec.name, name);
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn unknown_preset_is_none() {
+        assert!(preset("nope", 64, 500, 42).is_none());
+    }
+
+    #[test]
+    fn churn_presets_shorten_the_probe_deadline() {
+        let spec = preset("churn-storm", 64, 500, 1).unwrap();
+        assert!(spec.cfg.insert_level_timeout < SimTime::from_distance(10_000.0));
+    }
+}

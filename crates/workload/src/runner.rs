@@ -1,0 +1,416 @@
+//! The scenario runner: drives a [`TapestryNetwork`] through a
+//! [`ScenarioSpec`], interleaving traffic with scripted churn on the
+//! simulated clock, harvesting per-op latency/hops/distance into
+//! log-bucketed histograms, and running the invariant spot-checks
+//! (Properties 1/2, Theorem 2 root uniqueness) between phases.
+
+use crate::churn::ChurnEvent;
+use crate::report::{
+    ChurnOutcome, HistSummary, InvariantReport, OpStats, PhaseReport, ScenarioReport,
+};
+use crate::spec::{ScenarioSpec, SpaceKind};
+use crate::traffic::PopularitySampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use tapestry_core::TapestryNetwork;
+use tapestry_id::{root_id, Guid};
+use tapestry_sim::{Histogram, NodeIdx, SimStats, SimTime};
+
+/// Latencies are recorded in integer [`SimTime`] units; reports convert
+/// them back to metric-distance units.
+const LATENCY_SCALE: f64 = 1.0 / SimTime::UNITS_PER_DISTANCE;
+
+/// One catalog object: its name and the server currently holding the
+/// authoritative replica (re-homed when the server dies).
+struct ObjectRec {
+    guid: Guid,
+    server: NodeIdx,
+}
+
+/// Everything the runner needs per event.
+enum Action {
+    /// One application operation (read or write, decided at issue time).
+    Op,
+    Churn(ChurnEvent),
+}
+
+/// Run `spec` to completion and return its report.
+///
+/// Deterministic: the same spec (including seed) produces a bit-identical
+/// report on the same platform.
+pub fn run(spec: &ScenarioSpec) -> Result<ScenarioReport, String> {
+    spec.validate()?;
+    let space = spec.build_space();
+    let total_points = space.len();
+    let mut net = TapestryNetwork::bootstrap(spec.cfg, space, spec.seed, spec.initial_nodes);
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5CE7_A1E5);
+
+    // Unoccupied points, lowest first (pop from the back).
+    let mut free: Vec<NodeIdx> = (spec.initial_nodes..total_points).rev().collect();
+    // Joins/leaves in flight (async protocols polled to completion).
+    let mut joining: Vec<NodeIdx> = Vec::new();
+    let mut leaving: Vec<NodeIdx> = Vec::new();
+
+    // Publish the catalog before the first phase (setup is not measured).
+    let mut objects: Vec<ObjectRec> = Vec::new();
+    for _ in 0..spec.objects {
+        let server = random_member(&net, &mut rng);
+        let guid = net.random_guid();
+        net.publish(server, guid);
+        objects.push(ObjectRec { guid, server });
+    }
+    // Setup results (none expected) must not leak into phase 1.
+    net.drain_results();
+
+    let mut report = ScenarioReport {
+        scenario: spec.name.clone(),
+        seed: spec.seed,
+        space: match spec.space {
+            SpaceKind::Torus { side } => format!("torus({side:.0})"),
+            SpaceKind::Grid { side } => format!("grid({side:.0})"),
+        },
+        capacity: total_points as u64,
+        initial_nodes: spec.initial_nodes as u64,
+        objects: spec.objects as u64,
+        ..Default::default()
+    };
+    let mut all_latency = Histogram::new();
+    let mut all_hops = Histogram::new();
+
+    for phase in &spec.phases {
+        let start = net.engine().now();
+        let end = start + phase.duration;
+        let stats0 = net.engine().stats().clone();
+        let nodes_start = net.len() as u64;
+
+        // ----- expand this phase's event stream --------------------------
+        let mut events: Vec<(SimTime, Action)> = Vec::new();
+        for t in phase.traffic.arrival.times(start, end, &mut rng) {
+            events.push((t, Action::Op));
+        }
+        for c in &phase.churn {
+            for (t, ev) in c.events(start, end, &mut rng) {
+                events.push((t, Action::Churn(ev)));
+            }
+        }
+        if let Some(target) = phase.target_nodes {
+            // Node-count schedule: evenly spaced joins or graceful leaves.
+            let current = net.len();
+            let (n, ev) = if target >= current {
+                (target - current, ChurnEvent::Join)
+            } else {
+                (current - target, ChurnEvent::Leave { graceful: true, min_nodes: 2 })
+            };
+            let span = phase.duration.0 as f64;
+            for i in 0..n {
+                let t = SimTime(start.0 + (span * (i as f64 + 0.5) / n as f64) as u64);
+                events.push((t, Action::Churn(ev)));
+            }
+        }
+        events.sort_by_key(|&(t, _)| t); // stable: ties keep generation order
+
+        let sampler = PopularitySampler::new(phase.traffic.popularity, spec.objects);
+        let mut ops = OpStats::default();
+        let mut churn = ChurnOutcome::default();
+        let mut latency = Histogram::new();
+        let mut hops = Histogram::new();
+        let mut path_dist = Histogram::new();
+        // Origins with locates in flight → how many. Harvesting polls
+        // only these instead of sweeping every member per event.
+        let mut pending: BTreeMap<NodeIdx, u64> = BTreeMap::new();
+
+        // ----- drive the phase -------------------------------------------
+        for (t, action) in events {
+            net.run_until(t);
+            match action {
+                Action::Op => {
+                    let write = phase.traffic.write_fraction > 0.0
+                        && rng.gen_range(0.0..1.0) < phase.traffic.write_fraction;
+                    let obj = &mut objects[sampler.sample(&mut rng)];
+                    if write {
+                        if !net.engine().alive(obj.server) {
+                            obj.server = random_member(&net, &mut rng);
+                            ops.rehomed += 1;
+                        }
+                        net.publish_async(obj.server, obj.guid);
+                        ops.writes += 1;
+                    } else {
+                        let origin = random_member(&net, &mut rng);
+                        net.locate_async(origin, obj.guid);
+                        *pending.entry(origin).or_insert(0) += 1;
+                        ops.issued += 1;
+                    }
+                }
+                Action::Churn(ev) => apply_churn(
+                    ev, &mut net, &mut rng, &mut free, &mut joining, &mut leaving, &mut churn,
+                ),
+            }
+            settle_membership(&mut net, &mut free, &mut joining, &mut leaving, &mut churn, false);
+            harvest(&mut net, &mut pending, &mut ops, &mut latency, &mut hops, &mut path_dist);
+        }
+
+        // ----- drain and finalize ----------------------------------------
+        net.run_until(end);
+        net.run_to_idle();
+        settle_membership(&mut net, &mut free, &mut joining, &mut leaving, &mut churn, true);
+        net.run_to_idle();
+        harvest(&mut net, &mut pending, &mut ops, &mut latency, &mut hops, &mut path_dist);
+        pending.clear(); // whatever is left can never complete
+        ops.lost = ops.issued.saturating_sub(ops.completed);
+
+        let invariants = if phase.checks && !net.partition_active() {
+            Some(spot_checks(&net, spec, &objects))
+        } else {
+            None
+        };
+
+        let stats1 = net.engine().stats();
+        all_latency.merge(&latency);
+        all_hops.merge(&hops);
+        report.phases.push(PhaseReport {
+            name: phase.name.clone(),
+            sim_start: start.as_distance(),
+            sim_end: net.engine().now().as_distance(),
+            nodes_start,
+            nodes_end: net.len() as u64,
+            ops,
+            churn,
+            latency: HistSummary::scaled(&latency, LATENCY_SCALE),
+            hops: HistSummary::scaled(&hops, 1.0),
+            distance: HistSummary::scaled(&path_dist, 1.0),
+            messages: stats1.messages - stats0.messages,
+            traffic_distance: stats1.distance - stats0.distance,
+            dropped: stats1.dropped - stats0.dropped,
+            partition_dropped: stats1.partition_dropped - stats0.partition_dropped,
+            counters: counter_deltas(stats1, &stats0),
+            invariants,
+            avg_table_entries: net.snapshot().avg_table_entries,
+        });
+    }
+
+    report.finalize(&all_latency, &all_hops, LATENCY_SCALE);
+    Ok(report)
+}
+
+/// Uniformly random live member.
+fn random_member(net: &TapestryNetwork, rng: &mut StdRng) -> NodeIdx {
+    let members = net.node_ids();
+    members[rng.gen_range(0..members.len())]
+}
+
+/// Execute one scripted membership event.
+fn apply_churn(
+    ev: ChurnEvent,
+    net: &mut TapestryNetwork,
+    rng: &mut StdRng,
+    free: &mut Vec<NodeIdx>,
+    joining: &mut Vec<NodeIdx>,
+    leaving: &mut Vec<NodeIdx>,
+    churn: &mut ChurnOutcome,
+) {
+    match ev {
+        ChurnEvent::Join => match free.pop() {
+            Some(idx) => {
+                let gw = random_member(net, rng);
+                net.insert_node_via(idx, gw);
+                joining.push(idx);
+            }
+            None => churn.joins_skipped += 1,
+        },
+        ChurnEvent::Leave { graceful, min_nodes } => {
+            // Don't pick nodes already on their way out, and keep a floor.
+            let candidates: Vec<NodeIdx> = net
+                .node_ids()
+                .into_iter()
+                .filter(|i| !leaving.contains(i))
+                .collect();
+            if candidates.len() <= min_nodes.max(2) {
+                return;
+            }
+            let victim = candidates[rng.gen_range(0..candidates.len())];
+            if graceful {
+                net.leave_async(victim);
+                leaving.push(victim);
+            } else {
+                net.kill(victim);
+                churn.kills += 1;
+            }
+        }
+        ChurnEvent::MassFailure { fraction, correlated } => {
+            let candidates: Vec<NodeIdx> = net
+                .node_ids()
+                .into_iter()
+                .filter(|i| !leaving.contains(i))
+                .collect();
+            let keep_floor = 4usize;
+            let n_kill = ((candidates.len() as f64 * fraction.clamp(0.0, 0.9)) as usize)
+                .min(candidates.len().saturating_sub(keep_floor));
+            if n_kill == 0 {
+                return;
+            }
+            let victims: Vec<NodeIdx> = if correlated {
+                // A rack/AZ loss: the n_kill members closest to a pivot.
+                let pivot = candidates[rng.gen_range(0..candidates.len())];
+                net.rank_by_distance(pivot, candidates).into_iter().take(n_kill).collect()
+            } else {
+                // Uniform sample without replacement.
+                let mut pool = candidates;
+                let mut v = Vec::with_capacity(n_kill);
+                for _ in 0..n_kill {
+                    v.push(pool.swap_remove(rng.gen_range(0..pool.len())));
+                }
+                v
+            };
+            for idx in victims {
+                net.kill(idx);
+                churn.kills += 1;
+            }
+        }
+        ChurnEvent::PartitionStart => {
+            let pivot = random_member(net, rng);
+            net.partition_around(pivot);
+            churn.partitions += 1;
+        }
+        ChurnEvent::Heal => {
+            net.heal_partition();
+            churn.heals += 1;
+        }
+        ChurnEvent::Probe => net.probe_all_async(),
+        ChurnEvent::Optimize => net.optimize_all_async(),
+    }
+}
+
+/// Poll in-flight joins and leaves. At `finalize` (phase end, network
+/// idle) anything still incomplete is resolved: stuck inserts are killed
+/// (their point returns to the pool) and vanished leavers are dropped.
+fn settle_membership(
+    net: &mut TapestryNetwork,
+    free: &mut Vec<NodeIdx>,
+    joining: &mut Vec<NodeIdx>,
+    leaving: &mut Vec<NodeIdx>,
+    churn: &mut ChurnOutcome,
+    finalize: bool,
+) {
+    joining.retain(|&idx| {
+        if net.finish_insert_bookkeeping(idx) {
+            churn.joins_ok += 1;
+            return false;
+        }
+        if finalize {
+            // Stuck (gateway died, partition): remove the half-built node.
+            if net.engine().alive(idx) {
+                net.kill(idx);
+            }
+            free.push(idx);
+            churn.joins_failed += 1;
+            return false;
+        }
+        true
+    });
+    leaving.retain(|&idx| {
+        if !net.engine().alive(idx) {
+            // Finished earlier or killed mid-departure; either way gone.
+            return false;
+        }
+        if net.finish_leave_bookkeeping(idx) {
+            churn.graceful_leaves += 1;
+            return false;
+        }
+        if finalize {
+            // The Fig. 12 protocol could not complete (e.g. its acks were
+            // cut by a partition): treat as an unannounced failure.
+            net.kill(idx);
+            churn.kills += 1;
+            return false;
+        }
+        true
+    });
+}
+
+/// Collect completed locates into the phase accumulators and the
+/// engine-level [`SimStats`] histograms. Only origins with ops still in
+/// flight are polled; results on dead origins are gone for good (their
+/// entries drop out and the ops count as lost).
+fn harvest(
+    net: &mut TapestryNetwork,
+    pending: &mut BTreeMap<NodeIdx, u64>,
+    ops: &mut OpStats,
+    latency: &mut Histogram,
+    hops: &mut Histogram,
+    path_dist: &mut Histogram,
+) {
+    let mut results = Vec::new();
+    pending.retain(|&origin, in_flight| {
+        if !net.engine().alive(origin) {
+            return false;
+        }
+        let collected = net.take_results(origin);
+        *in_flight = in_flight.saturating_sub(collected.len() as u64);
+        results.extend(collected);
+        *in_flight > 0
+    });
+    if results.is_empty() {
+        return;
+    }
+    let mut live_hits = Vec::new();
+    for r in &results {
+        ops.completed += 1;
+        let lat = (r.completed_at - r.issued_at).0;
+        latency.record(lat);
+        hops.record(r.hops as u64);
+        path_dist.record(r.distance.round().max(0.0) as u64);
+        match r.server {
+            Some(s) if net.engine().alive(s.idx) => {
+                ops.found_live += 1;
+                live_hits.push(lat);
+            }
+            Some(_) => ops.found_dead += 1,
+            None => ops.not_found += 1,
+        }
+    }
+    // Mirror into the engine's named histograms so any driver reading
+    // SimStats sees the same distributions.
+    let stats = net.engine_mut().stats_mut();
+    for r in &results {
+        stats.record("locate.latency_units", (r.completed_at - r.issued_at).0);
+        stats.record("locate.hops", r.hops as u64);
+    }
+    for lat in live_hits {
+        stats.record("locate.latency_units.found_live", lat);
+    }
+}
+
+/// Deltas of the named protocol counters across the phase (only counters
+/// that moved).
+fn counter_deltas(after: &SimStats, before: &SimStats) -> BTreeMap<String, u64> {
+    after
+        .named()
+        .filter_map(|(name, v)| {
+            let d = v - before.get(name);
+            (d > 0).then(|| (name.to_string(), d))
+        })
+        .collect()
+}
+
+/// The between-phase invariant spot-checks: Properties 1 and 2 over the
+/// whole mesh, Theorem 2 root uniqueness over a deterministic sample of
+/// the catalog.
+fn spot_checks(net: &TapestryNetwork, spec: &ScenarioSpec, objects: &[ObjectRec]) -> InvariantReport {
+    let (prop2_optimal, prop2_total) = net.check_property2();
+    let sample: Vec<Guid> = objects.iter().step_by((objects.len() / 6).max(1)).map(|o| o.guid).collect();
+    let mut unique = 0u64;
+    for &g in &sample {
+        let roots = net.distinct_roots(&root_id(spec.cfg.space, g, 0));
+        if roots.len() == 1 {
+            unique += 1;
+        }
+    }
+    InvariantReport {
+        prop1_violations: net.check_property1().len() as u64,
+        prop2_optimal: prop2_optimal as u64,
+        prop2_total: prop2_total as u64,
+        roots_sampled: sample.len() as u64,
+        roots_unique: unique,
+    }
+}

@@ -1,0 +1,101 @@
+//! Scripted workloads: build a custom scenario with the spec builder,
+//! run it, and read the percentile report.
+//!
+//! ```sh
+//! cargo run --release --example scenario
+//! ```
+//!
+//! The scenario below is a miniature "weekday": a warmup, a diurnal
+//! churn wave under Zipf traffic, then a flash crowd on one hot object —
+//! all deterministic from the single seed. It also demonstrates the
+//! per-op completion hook `TapestryNetwork::set_locate_hook` for drivers
+//! that want raw results instead of a report.
+
+use tapestry::prelude::*;
+use tapestry::workload::runner;
+
+fn d(units: f64) -> SimTime {
+    SimTime::from_distance(units)
+}
+
+fn main() {
+    let spec = ScenarioSpec::new("weekday")
+        .seed(2026)
+        .capacity(96)
+        .initial_nodes(64)
+        .objects(32)
+        .phase(
+            PhaseSpec::new("warmup", d(15_000.0))
+                .arrival(Arrival::Even { ops: 150 })
+                .popularity(Popularity::Uniform)
+                .checked(),
+        )
+        .phase(
+            PhaseSpec::new("daily-churn", d(60_000.0))
+                .arrival(Arrival::Poisson { ops: 400 })
+                .popularity(Popularity::Zipf { exponent: 1.1 })
+                .writes(0.1)
+                .churn(ChurnSpec::Diurnal { cycles: 2, joins: 12, leaves: 12, min_nodes: 48 })
+                .churn(ChurnSpec::ProbeAt { at: 0.5 }),
+        )
+        .phase(
+            PhaseSpec::new("flash-crowd", d(30_000.0))
+                .arrival(Arrival::FlashCrowd { ops: 300, peak_ratio: 6.0 })
+                .popularity(Popularity::Hotspot { hot: 0, weight: 0.75 })
+                .checked(),
+        );
+
+    let report = runner::run(&spec).expect("valid spec");
+    for p in &report.phases {
+        println!(
+            "{:12} nodes {:2}→{:2}  ops {:3} (lost {})  locate p50/p99 = {:.0}/{:.0}  hops p99 = {:.0}",
+            p.name,
+            p.nodes_start,
+            p.nodes_end,
+            p.ops.issued,
+            p.ops.lost,
+            p.latency.p50,
+            p.latency.p99,
+            p.hops.p99,
+        );
+        if let Some(inv) = &p.invariants {
+            println!(
+                "{:12} invariants: prop1 viol {}  prop2 {}/{}  unique roots {}/{}",
+                "", inv.prop1_violations, inv.prop2_optimal, inv.prop2_total, inv.roots_unique,
+                inv.roots_sampled,
+            );
+        }
+    }
+    println!(
+        "total: {} ops, p50 latency {:.0}, {} messages, {} dropped",
+        report.total_ops.completed,
+        report.total_latency.p50,
+        report.total_messages,
+        report.total_dropped,
+    );
+
+    // ---- the raw per-op hook, for custom drivers --------------------------
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let hits = Arc::new(AtomicU64::new(0));
+    let hits2 = Arc::clone(&hits);
+    let mut net = TapestryNetwork::build(
+        TapestryConfig::default(),
+        Box::new(TorusSpace::random(32, 1000.0, 1)),
+        1,
+    );
+    net.set_locate_hook(Box::new(move |r| {
+        if r.server.is_some() {
+            hits2.fetch_add(1, Ordering::Relaxed);
+        }
+    }));
+    let server = net.node_ids()[0];
+    let guid = net.random_guid();
+    net.publish(server, guid);
+    for &origin in net.node_ids().iter().take(8) {
+        net.locate_async(origin, guid);
+    }
+    net.run_to_idle();
+    net.drain_results();
+    println!("hook observed {} successful locates", hits.load(Ordering::Relaxed));
+}

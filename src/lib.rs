@@ -31,6 +31,7 @@ pub use tapestry_id as id;
 pub use tapestry_metric as metric;
 pub use tapestry_prrv0 as prrv0;
 pub use tapestry_sim as sim;
+pub use tapestry_workload as workload;
 
 /// Everything most applications need, in one import.
 pub mod prelude {
@@ -41,5 +42,8 @@ pub mod prelude {
     pub use tapestry_metric::{
         GridSpace, MetricSpace, RingSpace, TorusSpace, TransitStubSpace,
     };
-    pub use tapestry_sim::SimTime;
+    pub use tapestry_sim::{Histogram, SimTime};
+    pub use tapestry_workload::{
+        Arrival, ChurnSpec, PhaseSpec, Popularity, ScenarioReport, ScenarioSpec,
+    };
 }
