@@ -1,0 +1,113 @@
+//! Microbenchmarks of the scale-pass hot paths: surrogate-routing
+//! `next_hop` on a realistically filled table, nearest-neighbor queries
+//! through the coordinate index vs the brute-force scan, and raw engine
+//! event dispatch. These are the three inner loops a 10k-node scenario
+//! run spends its time in; the scale driver measures them end to end,
+//! this file isolates them.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tapestry_core::{NodeRef, RoutingTable};
+use tapestry_id::{Id, IdSpace};
+use tapestry_metric::{closest_k, MetricSpace, RingSpace, TorusSpace};
+use tapestry_sim::{Actor, Ctx, Engine, NodeIdx, SimTime};
+
+const N: usize = 4096;
+
+fn bench_nearest(c: &mut Criterion) {
+    let space = TorusSpace::random(N, 8000.0, 7);
+    let members: Vec<usize> = (0..N).collect();
+    let index = space.build_index(members.clone());
+    c.bench_function("metric/closest3_brute_4096", |b| {
+        let mut q = 0usize;
+        b.iter(|| {
+            q = (q + 1) % N;
+            black_box(closest_k(&space, q, &members, 3))
+        })
+    });
+    c.bench_function("metric/closest3_index_4096", |b| {
+        let mut q = 0usize;
+        b.iter(|| {
+            q = (q + 1) % N;
+            black_box(index.closest_k(q, 3))
+        })
+    });
+    c.bench_function("metric/nearest_index_4096", |b| {
+        let mut q = 0usize;
+        b.iter(|| {
+            q = (q + 1) % N;
+            black_box(index.nearest(q))
+        })
+    });
+    c.bench_function("metric/ball_index_4096", |b| {
+        let mut q = 0usize;
+        b.iter(|| {
+            q = (q + 1) % N;
+            black_box(index.ball_size(q, 200.0))
+        })
+    });
+    c.bench_function("metric/build_index_4096", |b| {
+        b.iter(|| black_box(space.build_index(members.clone())))
+    });
+}
+
+fn bench_next_hop(c: &mut Criterion) {
+    let s = IdSpace::base16();
+    let mut rng = StdRng::seed_from_u64(2);
+    let owner = NodeRef::new(0, Id::random(s, &mut rng));
+    let mut table = RoutingTable::new(owner, 16, 8);
+    for i in 1..N {
+        let r = NodeRef::new(i, Id::random(s, &mut rng));
+        table.add_if_closer(r, (i % 997) as f64, 3);
+    }
+    let targets: Vec<Id> = (0..256).map(|_| Id::random(s, &mut rng)).collect();
+    c.bench_function("route/next_hop_filled_table", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % targets.len();
+            black_box(table.next_hop(&targets[i], 0, None))
+        })
+    });
+    c.bench_function("route/next_hop_prr_filled_table", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % targets.len();
+            black_box(table.next_hop_prr(&targets[i], 0, None, false))
+        })
+    });
+}
+
+/// Minimal bounce actor for raw dispatch throughput.
+struct Bouncer {
+    peer: NodeIdx,
+}
+
+impl Actor for Bouncer {
+    type Msg = u32;
+    type Timer = ();
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32, ()>, _from: NodeIdx, msg: u32) {
+        if msg > 0 {
+            ctx.send(self.peer, msg - 1);
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32, ()>, _timer: ()) {}
+}
+
+fn bench_engine_dispatch(c: &mut Criterion) {
+    c.bench_function("engine/dispatch_256_events", |b| {
+        let space = RingSpace::even(2, 100.0);
+        let mut e = Engine::new(Box::new(space), SimTime(1));
+        e.add_node(0, Bouncer { peer: 1 });
+        e.add_node(1, Bouncer { peer: 0 });
+        b.iter(|| {
+            e.inject(0, 255);
+            black_box(e.run_until_idle(10_000))
+        })
+    });
+}
+
+criterion_group!(benches, bench_nearest, bench_next_hop, bench_engine_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,194 @@
+//! **Scale driver** — the 64→10k+ node benchmark trajectory.
+//!
+//! Runs the `scale` preset family (steady-zipf traffic on proportionally
+//! larger spaces, constant node density) and emits one point per network
+//! size: wall-clock, engine events and events/sec, peak routing-table
+//! size, and p50/p99 locate latency and hops.
+//!
+//! ```sh
+//! scale                                      # 1k / 4k / 10k, torus
+//! scale --nodes 256                          # one point
+//! scale --nodes 1000,4000,10000 --space grid
+//! scale --json BENCH_scale.json              # the committed trajectory
+//! scale --nodes 1000 --sim-json a.json       # deterministic part only
+//! ```
+//!
+//! The `--json` output contains wall-clock figures and is therefore a
+//! *benchmark* artifact (machine-dependent); `--sim-json` writes the full
+//! deterministic scenario reports, which CI diffs across same-seed runs
+//! as a non-determinism gate.
+
+use std::time::Instant;
+use tapestry_bench::{f2, header, row};
+use tapestry_workload::presets::{scale_preset, SCALE_SIZES};
+use tapestry_workload::{runner, RunTotals, ScenarioReport};
+
+struct Args {
+    nodes: Vec<usize>,
+    ops: u64,
+    seed: u64,
+    grid: bool,
+    json: Option<String>,
+    sim_json: Option<String>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scale [--nodes N[,N,...]] [--ops N] [--seed S] [--space torus|grid]\n\
+         \x20            [--json PATH] [--sim-json PATH] [--quiet]\n\
+         defaults: --nodes {} --ops 2000 --seed 42 --space torus",
+        SCALE_SIZES.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(",")
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        nodes: SCALE_SIZES.to_vec(),
+        ops: 2000,
+        seed: 42,
+        grid: false,
+        json: None,
+        sim_json: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--nodes" => {
+                args.nodes = val("--nodes")
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if args.nodes.is_empty() {
+                    usage()
+                }
+            }
+            "--ops" => args.ops = val("--ops").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--space" => match val("--space").as_str() {
+                "torus" => args.grid = false,
+                "grid" => args.grid = true,
+                _ => usage(),
+            },
+            "--json" => args.json = Some(val("--json")),
+            "--sim-json" => args.sim_json = Some(val("--sim-json")),
+            "--quiet" => args.quiet = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// One trajectory point: the deterministic report, the engine totals and
+/// the wall-clock measurement around the whole run (bootstrap included).
+struct Point {
+    report: ScenarioReport,
+    totals: RunTotals,
+    wall_secs: f64,
+}
+
+/// Hand-rolled JSON for the benchmark artifact: fixed key order, three
+/// decimals for floats, integers verbatim (the same conventions as the
+/// scenario reports, minus the machine-independence guarantee — wall
+/// clock is the point here).
+fn point_json(p: &Point, ops: u64, seed: u64) -> String {
+    let r = &p.report;
+    let events_per_sec =
+        if p.wall_secs > 0.0 { p.totals.events as f64 / p.wall_secs } else { 0.0 };
+    format!(
+        "{{\"nodes\":{},\"space\":\"{}\",\"seed\":{},\"ops\":{},\
+         \"wall_secs\":{:.3},\"events\":{},\"events_per_sec\":{:.0},\
+         \"messages\":{},\"timers\":{},\"peak_table_entries\":{},\
+         \"issued\":{},\"found_live\":{},\"lost\":{},\
+         \"latency_p50\":{:.3},\"latency_p99\":{:.3},\
+         \"hops_p50\":{:.3},\"hops_p99\":{:.3}}}",
+        r.initial_nodes,
+        r.space,
+        seed,
+        ops,
+        p.wall_secs,
+        p.totals.events,
+        events_per_sec,
+        p.totals.messages,
+        p.totals.timers,
+        p.totals.peak_table_entries,
+        r.total_ops.issued,
+        r.total_ops.found_live,
+        r.total_ops.lost,
+        r.total_latency.p50,
+        r.total_latency.p99,
+        r.total_hops.p50,
+        r.total_hops.p99,
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let mut points = Vec::new();
+    for &n in &args.nodes {
+        let spec = scale_preset(n, args.ops, args.seed, args.grid);
+        let start = Instant::now();
+        let (report, totals) = match runner::run_with_totals(&spec) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("scale({n}): {e}");
+                std::process::exit(1)
+            }
+        };
+        let wall_secs = start.elapsed().as_secs_f64();
+        points.push(Point { report, totals, wall_secs });
+    }
+
+    if !args.quiet {
+        header(&[
+            "nodes", "space", "wall_s", "events", "events/s", "peak_tbl", "issued", "ok",
+            "lat_p99", "hops_p99",
+        ]);
+        for p in &points {
+            let eps = if p.wall_secs > 0.0 { p.totals.events as f64 / p.wall_secs } else { 0.0 };
+            row(&[
+                p.report.initial_nodes.to_string(),
+                p.report.space.clone(),
+                f2(p.wall_secs),
+                p.totals.events.to_string(),
+                format!("{eps:.0}"),
+                p.totals.peak_table_entries.to_string(),
+                p.report.total_ops.issued.to_string(),
+                p.report.total_ops.found_live.to_string(),
+                f2(p.report.total_latency.p99),
+                f2(p.report.total_hops.p99),
+            ]);
+        }
+    }
+
+    let json = format!(
+        "[{}]",
+        points
+            .iter()
+            .map(|p| point_json(p, args.ops, args.seed))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    match &args.json {
+        Some(path) => std::fs::write(path, &json).expect("write scale json"),
+        None if args.quiet => println!("{json}"),
+        None => {}
+    }
+    if let Some(path) = &args.sim_json {
+        // The machine-independent half: full deterministic reports, for
+        // same-seed determinism gating in CI.
+        let sim = format!(
+            "[{}]",
+            points.iter().map(|p| p.report.to_json()).collect::<Vec<_>>().join(",")
+        );
+        std::fs::write(path, sim).expect("write deterministic sim json");
+    }
+}

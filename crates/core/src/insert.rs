@@ -170,20 +170,21 @@ impl TapestryNode {
     /// Issue `GetForwardAndBackPointers` to everyone on the current list
     /// (Fig. 4, `GetNextList` line 3).
     fn begin_level_fetch(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, level: usize) {
+        let me = self.me;
+        let timeout = self.cfg.insert_level_timeout;
         let ins = self.insert.as_mut().expect("inserting");
         let op = ins.op;
         ins.acc.clear();
         ins.pending = ins.list.iter().map(|r| r.idx).collect();
-        let targets: Vec<NodeIdx> = ins.pending.iter().copied().collect();
-        if targets.is_empty() {
+        if ins.pending.is_empty() {
             self.finalize_level(ctx, level);
             return;
         }
-        for t in targets {
+        for &t in &ins.pending {
             ctx.count("insert.getptr", 1);
-            ctx.send(t, Msg::GetPointers { op, level, new_node: self.me });
+            ctx.send(t, Msg::GetPointers { op, level, new_node: me });
         }
-        ctx.set_timer(self.cfg.insert_level_timeout, Timer::InsertLevelTimeout { op, level });
+        ctx.set_timer(timeout, Timer::InsertLevelTimeout { op, level });
     }
 
     /// Remote side of `GetNextList`: return forward and backward pointers
@@ -262,10 +263,10 @@ impl TapestryNode {
         });
         merged.truncate(k);
         ins.pending.clear();
-        ins.list = merged.clone();
-        for r in merged {
+        for &r in &merged {
             self.consider_neighbor(ctx, r);
         }
+        self.insert.as_mut().expect("inserting").list = merged;
         if level == 0 {
             self.finish_insert(ctx);
         } else {

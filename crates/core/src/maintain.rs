@@ -320,7 +320,7 @@ impl TapestryNode {
         if self.probe.awaiting.is_empty() {
             return;
         }
-        for &idx in self.probe.awaiting.clone().iter() {
+        for &idx in &self.probe.awaiting {
             ctx.count("repair.pings", 1);
             ctx.send(idx, Msg::Ping { nonce });
         }

@@ -53,12 +53,15 @@ impl NeighborSet {
     }
 
     /// Is the slot a hole (no known `(α, j)` nodes)?
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// The closest neighbor, skipping `exclude` (a node being routed
-    /// around, §5.1).
+    /// around, §5.1). Inlined: `next_hop` calls this per candidate digit
+    /// on every routing hop.
+    #[inline]
     pub fn primary(&self, exclude: Option<NodeIdx>) -> Option<NodeRef> {
         self.entries
             .iter()

@@ -11,9 +11,9 @@ use crate::refs::NodeRef;
 use crate::routing_table::Hop;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use tapestry_id::{root_id, Guid, Id};
-use tapestry_metric::MetricSpace;
+use tapestry_metric::{MetricSpace, NearestIndex};
 use tapestry_sim::{Engine, NodeIdx, SimTime};
 
 /// Outcome of one locate operation, as observed at its origin.
@@ -70,7 +70,9 @@ pub struct TapestryNetwork {
     engine: Engine<TapestryNode>,
     cfg: TapestryConfig,
     ids: Vec<Id>,
-    members: BTreeSet<NodeIdx>,
+    /// Live members, kept sorted ascending (set semantics; a sorted `Vec`
+    /// so hot paths can sample and iterate without allocating).
+    members: Vec<NodeIdx>,
     rng: StdRng,
     seed: u64,
     /// Per-op completion callback, invoked once for every locate result
@@ -84,6 +86,11 @@ pub struct TapestryNetwork {
 /// Callback observing every completed locate as the driver collects it
 /// (workload runners harvest latency/hop distributions this way).
 pub type LocateHook = Box<dyn FnMut(&LocateResult) + Send>;
+
+/// One pending slot fill of the indexed bootstrap: node, slot digit, and
+/// the `(member, distance)` entries to install (level is implicit —
+/// fills are produced and applied one level at a time).
+type SlotFill = (NodeIdx, u8, Vec<(NodeIdx, f64)>);
 
 impl TapestryNetwork {
     /// Statically build a fully populated network: every point of the
@@ -130,7 +137,7 @@ impl TapestryNetwork {
             engine: Engine::new(space, SimTime(1)),
             cfg,
             ids,
-            members: BTreeSet::new(),
+            members: Vec::new(),
             rng,
             seed,
             locate_hook: None,
@@ -138,33 +145,128 @@ impl TapestryNetwork {
         }
     }
 
+    /// Add `idx` to the sorted member list (no-op when present).
+    fn insert_member(&mut self, idx: NodeIdx) {
+        if let Err(at) = self.members.binary_search(&idx) {
+            self.members.insert(at, idx);
+        }
+    }
+
+    /// Drop `idx` from the sorted member list (no-op when absent).
+    fn remove_member(&mut self, idx: NodeIdx) {
+        if let Ok(at) = self.members.binary_search(&idx) {
+            self.members.remove(at);
+        }
+    }
+
     /// Global-knowledge table construction for `members` (Properties 1
     /// and 2 by construction), including backpointers.
+    ///
+    /// Tables are filled through per-`(prefix, digit)` coordinate indexes
+    /// in O(n · levels · base) instead of the all-pairs
+    /// `AddToTableIfCloser` sweep — the change that takes a 10k-node
+    /// bootstrap from minutes to sub-second. The result is bit-identical
+    /// to the pairwise sweep (debug builds verify it on networks small
+    /// enough to afford the O(n²) cross-check).
     fn static_populate(&mut self, members: &[NodeIdx]) {
         for &idx in members {
             let node = TapestryNode::new_active(self.cfg, self.ref_of(idx), self.seed);
             self.engine.add_node(idx, node);
-            self.members.insert(idx);
+            self.insert_member(idx);
+        }
+        self.populate_tables(members);
+        #[cfg(debug_assertions)]
+        self.verify_static_tables(members);
+        // Record backpointers for every forward pointer.
+        for &a in members {
+            let a_ref = self.ref_of(a);
+            let fwd = self.engine.node(a).expect("added").table().all_refs();
+            for r in fwd {
+                if let Some(peer) = self.engine.node_mut(r.idx) {
+                    peer.add_backpointer(a_ref);
+                }
+            }
+        }
+    }
+
+    /// Indexed slot construction: slot `(l, j)` of node `a` holds the
+    /// `redundancy` closest members whose IDs extend `a`'s `l`-digit
+    /// prefix with digit `j` (one fewer for `a`'s own digit, whose slot
+    /// the owner occupies at distance 0). Divergence entries and the
+    /// nested own-digit memberships of §2.1 both reduce to exactly this
+    /// prefix-group query, so grouping members by `prefix_key` and
+    /// querying one coordinate index per group reproduces the incremental
+    /// sweep's tables — including its `(distance, index)` tie-breaks.
+    fn populate_tables(&mut self, members: &[NodeIdx]) {
+        let levels = self.cfg.levels();
+        let base = self.cfg.base();
+        let cap = self.cfg.redundancy;
+        let mut sorted: Vec<NodeIdx> = members.to_vec();
+        sorted.sort_unstable();
+        for l in 0..levels {
+            let mut groups: HashMap<u128, Vec<NodeIdx>> = HashMap::new();
+            for &m in &sorted {
+                groups.entry(self.ids[m].prefix_key(l + 1)).or_default().push(m);
+            }
+            let metric = self.engine.metric();
+            let indexes: HashMap<u128, Box<dyn NearestIndex + '_>> =
+                groups.into_iter().map(|(k, v)| (k, metric.build_index(v))).collect();
+            let mut fills: Vec<SlotFill> = Vec::new();
+            for &a in &sorted {
+                let aid = self.ids[a];
+                let own = aid.digit(l);
+                let a_key = aid.prefix_key(l);
+                for j in 0..base as u8 {
+                    let want = cap - usize::from(j == own);
+                    if want == 0 {
+                        continue;
+                    }
+                    if let Some(ix) = indexes.get(&(a_key * base as u128 + j as u128)) {
+                        let list = ix.closest_k(a, want);
+                        if !list.is_empty() {
+                            fills.push((a, j, list));
+                        }
+                    }
+                }
+            }
+            drop(indexes);
+            for (a, j, list) in fills {
+                let node = self.engine.node_mut(a).expect("just added");
+                let slot = node.table_mut().slot_mut(l, j);
+                for (m, d) in list {
+                    slot.add_if_closer(NodeRef::new(m, self.ids[m]), d, usize::MAX);
+                }
+            }
+        }
+    }
+
+    /// Debug-build cross-check: rebuild each table with the original
+    /// all-pairs sweep and demand bit-identical slots. Skipped above 600
+    /// members, where the O(n²) reference itself is the bottleneck.
+    #[cfg(debug_assertions)]
+    fn verify_static_tables(&self, members: &[NodeIdx]) {
+        use crate::routing_table::RoutingTable;
+        if members.len() > 600 {
+            return;
         }
         let refs: Vec<NodeRef> = members.iter().map(|&i| self.ref_of(i)).collect();
         for &a in members {
-            let a_ref = self.ref_of(a);
+            let mut want = RoutingTable::new(self.ref_of(a), self.cfg.base(), self.cfg.levels());
             for &b_ref in &refs {
                 if b_ref.idx == a {
                     continue;
                 }
                 let d = self.engine.metric().distance(a, b_ref.idx);
-                self.engine
-                    .node_mut(a)
-                    .expect("just added")
-                    .table_mut()
-                    .add_if_closer(b_ref, d, self.cfg.redundancy);
+                want.add_if_closer(b_ref, d, self.cfg.redundancy);
             }
-            // Record backpointers for every forward pointer.
-            let fwd = self.engine.node(a).expect("added").table().all_refs();
-            for r in fwd {
-                if let Some(peer) = self.engine.node_mut(r.idx) {
-                    peer.add_backpointer(a_ref);
+            let got = self.engine.node(a).expect("added").table();
+            for l in 0..self.cfg.levels() {
+                for j in 0..self.cfg.base() as u8 {
+                    let gs: Vec<(NodeIdx, u64)> =
+                        got.slot(l, j).iter_with_dist().map(|(r, d)| (r.idx, d.to_bits())).collect();
+                    let ws: Vec<(NodeIdx, u64)> =
+                        want.slot(l, j).iter_with_dist().map(|(r, d)| (r.idx, d.to_bits())).collect();
+                    assert_eq!(gs, ws, "static table mismatch at node {a} slot ({l},{j})");
                 }
             }
         }
@@ -177,9 +279,16 @@ impl TapestryNetwork {
         &self.cfg
     }
 
-    /// Indices of live member nodes.
+    /// Indices of live member nodes (an owned copy; hot paths should
+    /// prefer the allocation-free [`TapestryNetwork::members`]).
     pub fn node_ids(&self) -> Vec<NodeIdx> {
-        self.members.iter().copied().collect()
+        self.members.clone()
+    }
+
+    /// Live members, sorted ascending, as a borrow — the per-operation
+    /// sampling path of workload runners (no per-call allocation).
+    pub fn members(&self) -> &[NodeIdx] {
+        &self.members
     }
 
     /// Number of live members.
@@ -229,8 +338,7 @@ impl TapestryNetwork {
 
     /// Draw a random live member.
     pub fn random_member(&mut self) -> NodeIdx {
-        let v = self.node_ids();
-        v[self.rng.gen_range(0..v.len())]
+        self.members[self.rng.gen_range(0..self.members.len())]
     }
 
     /// Drain all scheduled events (bounded by `max_events_per_op`).
@@ -291,7 +399,8 @@ impl TapestryNetwork {
     /// concurrent async locates from different origins.
     pub fn drain_results(&mut self) -> Vec<LocateResult> {
         let mut all = Vec::new();
-        for idx in self.node_ids() {
+        for i in 0..self.members.len() {
+            let idx = self.members[i];
             all.extend(self.take_results(idx));
         }
         all
@@ -387,7 +496,7 @@ impl TapestryNetwork {
             .node(idx)
             .is_some_and(|n| n.status() == NodeStatus::Active);
         if ok {
-            self.members.insert(idx);
+            self.insert_member(idx);
         }
         ok
     }
@@ -400,7 +509,7 @@ impl TapestryNetwork {
         self.run_to_idle();
         let done = self.engine.node(idx).is_some_and(|n| n.leave_finished());
         self.engine.remove_node(idx);
-        self.members.remove(&idx);
+        self.remove_member(idx);
         done
     }
 
@@ -419,7 +528,7 @@ impl TapestryNetwork {
     pub fn finish_leave_bookkeeping(&mut self, idx: NodeIdx) -> bool {
         if self.engine.node(idx).is_some_and(|n| n.leave_finished()) {
             self.engine.remove_node(idx);
-            self.members.remove(&idx);
+            self.remove_member(idx);
             true
         } else {
             false
@@ -429,7 +538,7 @@ impl TapestryNetwork {
     /// Involuntary failure: the node vanishes without warning (§5.2).
     pub fn kill(&mut self, idx: NodeIdx) {
         self.engine.remove_node(idx);
-        self.members.remove(&idx);
+        self.remove_member(idx);
     }
 
     /// Trigger one failure-detection probe round on every live node and
@@ -442,7 +551,7 @@ impl TapestryNetwork {
     /// Start a probe round on every live node without draining (workload
     /// runners let detection deadlines fire amid ongoing traffic).
     pub fn probe_all_async(&mut self) {
-        for idx in self.node_ids() {
+        for &idx in &self.members {
             self.engine.inject(idx, Msg::AppProbe);
         }
     }
@@ -457,7 +566,7 @@ impl TapestryNetwork {
 
     /// Start a §6.4 optimization round without draining.
     pub fn optimize_all_async(&mut self) {
-        for idx in self.node_ids() {
+        for &idx in &self.members {
             self.engine.inject(idx, Msg::AppOptimize);
         }
     }
@@ -514,7 +623,7 @@ impl TapestryNetwork {
     /// The unique root of `guid`'s `i`-th root identifier, computed from
     /// the lowest-indexed member (Theorem 2 makes the choice irrelevant).
     pub fn root_of(&self, guid: Guid, root_index: usize) -> NodeIdx {
-        let start = *self.members.iter().next().expect("non-empty network");
+        let start = *self.members.first().expect("non-empty network");
         self.root_from(start, &root_id(self.cfg.space, guid, root_index))
     }
 
@@ -535,7 +644,109 @@ impl TapestryNetwork {
 
     /// Property 1 violations: `(node, level, digit)` slots that are empty
     /// even though a matching member exists.
+    ///
+    /// Computed by per-level prefix-key counting — O(n · levels · base)
+    /// instead of the pairwise O(n²) scan, with identical output: a slot
+    /// `(l, j)` of node `a` has a matching member iff some member's ID
+    /// extends `a`'s `l`-digit prefix with `j`, and own-digit slots are
+    /// never violations (the owner occupies them at every level).
     pub fn check_property1(&self) -> Vec<(NodeIdx, usize, u8)> {
+        let levels = self.cfg.levels();
+        let base = self.cfg.base();
+        let mut bad = Vec::new();
+        for l in 0..levels {
+            let mut counts: HashMap<u128, u32> = HashMap::with_capacity(self.members.len());
+            for &b in &self.members {
+                *counts.entry(self.ids[b].prefix_key(l + 1)).or_insert(0) += 1;
+            }
+            for &a in &self.members {
+                let Some(node) = self.engine.node(a) else { continue };
+                let aid = self.ids[a];
+                let own = aid.digit(l);
+                let a_key = aid.prefix_key(l);
+                for j in 0..base as u8 {
+                    if j == own {
+                        continue;
+                    }
+                    if node.table().slot(l, j).is_empty()
+                        && counts.contains_key(&(a_key * base as u128 + j as u128))
+                    {
+                        bad.push((a, l, j));
+                    }
+                }
+            }
+        }
+        bad.sort_unstable();
+        bad.dedup();
+        #[cfg(debug_assertions)]
+        if self.members.len() <= 600 {
+            assert_eq!(bad, self.check_property1_brute(), "indexed Property 1 check diverged");
+        }
+        bad
+    }
+
+    /// Property 2 report: over all filled slots, how many primaries are
+    /// the true closest matching member. Dynamic insertion is randomized,
+    /// so tests assert a high fraction rather than perfection.
+    ///
+    /// The "true closest matching member" is a nearest-in-prefix-group
+    /// query, answered through per-group coordinate indexes — the same
+    /// machinery as the fast bootstrap, and again O(n · levels · base)
+    /// instead of O(n² · slots).
+    pub fn check_property2(&self) -> (usize, usize) {
+        let levels = self.cfg.levels();
+        let base = self.cfg.base();
+        let metric = self.engine.metric();
+        let mut optimal = 0;
+        let mut total = 0;
+        for l in 0..levels {
+            let mut groups: HashMap<u128, Vec<NodeIdx>> = HashMap::new();
+            for &b in &self.members {
+                groups.entry(self.ids[b].prefix_key(l + 1)).or_default().push(b);
+            }
+            let indexes: HashMap<u128, Box<dyn NearestIndex + '_>> =
+                groups.into_iter().map(|(k, v)| (k, metric.build_index(v))).collect();
+            for &a in &self.members {
+                let Some(node) = self.engine.node(a) else { continue };
+                let aid = self.ids[a];
+                let own = aid.digit(l);
+                let a_key = aid.prefix_key(l);
+                for j in 0..base as u8 {
+                    if j == own {
+                        continue; // the owner's slot; never counted
+                    }
+                    let slot = node.table().slot(l, j);
+                    let Some(primary) = slot.primary(None) else { continue };
+                    if primary.idx == a {
+                        continue; // self entry
+                    }
+                    let Some(ix) = indexes.get(&(a_key * base as u128 + j as u128)) else {
+                        continue;
+                    };
+                    let Some((_, db)) = ix.nearest(a) else { continue };
+                    total += 1;
+                    let dp = metric.distance(a, primary.idx);
+                    if dp <= db + 1e-9 {
+                        optimal += 1;
+                    }
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        if self.members.len() <= 600 {
+            assert_eq!(
+                (optimal, total),
+                self.check_property2_brute(),
+                "indexed Property 2 check diverged"
+            );
+        }
+        (optimal, total)
+    }
+
+    /// The original pairwise Property 1 scan, kept as the debug-build
+    /// reference for the indexed check.
+    #[cfg(debug_assertions)]
+    fn check_property1_brute(&self) -> Vec<(NodeIdx, usize, u8)> {
         let mut bad = Vec::new();
         for &a in &self.members {
             let Some(node) = self.engine.node(a) else { continue };
@@ -560,10 +771,10 @@ impl TapestryNetwork {
         bad
     }
 
-    /// Property 2 report: over all filled slots, how many primaries are
-    /// the true closest matching member. Dynamic insertion is randomized,
-    /// so tests assert a high fraction rather than perfection.
-    pub fn check_property2(&self) -> (usize, usize) {
+    /// The original O(n² · slots) Property 2 scan, kept as the
+    /// debug-build reference for the indexed check.
+    #[cfg(debug_assertions)]
+    fn check_property2_brute(&self) -> (usize, usize) {
         let mut optimal = 0;
         let mut total = 0;
         for &a in &self.members {

@@ -207,8 +207,12 @@ impl RoutingTable {
     ///
     /// `exclude` routes around a departing node (§5.1).
     pub fn next_hop(&self, target: &Id, mut level: usize, exclude: Option<NodeIdx>) -> Hop {
+        // One bounds check up front; per-level digit access is then a
+        // plain slice read (the digits were materialized when the Id was
+        // built — nothing is unpacked per hop).
+        let digits = target.digits();
         while level < self.levels {
-            let want = target.digit(level) as usize;
+            let want = digits[level] as usize;
             let mut chosen = None;
             for off in 0..self.base {
                 let j = ((want + off) % self.base) as u8;
@@ -247,6 +251,7 @@ impl RoutingTable {
         exclude: Option<NodeIdx>,
         mut past_hole: bool,
     ) -> (Hop, bool) {
+        let digits = target.digits();
         while level < self.levels {
             let choice = if past_hole {
                 // Numerically highest filled digit.
@@ -254,7 +259,7 @@ impl RoutingTable {
                     .rev()
                     .find_map(|j| self.slot(level, j).primary(exclude).map(|p| (j, p)))
             } else {
-                let want = target.digit(level);
+                let want = digits[level];
                 match self.slot(level, want).primary(exclude) {
                     Some(p) => Some((want, p)),
                     None => {

@@ -20,6 +20,12 @@ pub struct ExpansionEstimate {
 /// ball holds `4, 8, 16, …` members, and record `|B(2r)| / |B(r)|`.
 /// Balls that already cover more than half the member set are skipped, per
 /// the paper's caveat "(unless all points are within 2r of A)".
+///
+/// Ball counting goes through the space's [`MetricSpace::build_index`]
+/// (grid buckets / sorted positions), so the sweep is near-linear in the
+/// member count instead of requiring a full per-centre distance sort; the
+/// indexed counts are cross-checked against the brute-force
+/// [`MetricSpace::ball_size`] definition in debug builds.
 pub fn estimate_expansion<S: MetricSpace + ?Sized>(
     space: &S,
     members: &[PointIdx],
@@ -31,24 +37,27 @@ pub fn estimate_expansion<S: MetricSpace + ?Sized>(
     centers.shuffle(&mut rng);
     centers.truncate(n_centers.max(1));
 
+    let index = space.build_index(members.to_vec());
     let mut ratios = Vec::new();
     for &c in &centers {
-        // Sorted distances from the centre to every member.
-        let mut dists: Vec<f64> = members
-            .iter()
-            .filter(|&&m| m != c)
-            .map(|&m| space.distance(c, m))
-            .collect();
-        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Members other than the centre itself (the centre is always a
+        // member here, drawn from the member list).
+        let others = index.members().len().saturating_sub(1);
         let mut inner = 4usize;
-        while inner * 2 < dists.len() {
-            let r = dists[inner - 1];
+        while inner * 2 < others {
+            // Radius reaching exactly the `inner` closest members.
+            let knn = index.closest_k(c, inner);
+            let r = match knn.last() {
+                Some(&(_, d)) => d,
+                None => break,
+            };
             if r <= 0.0 {
                 inner *= 2;
                 continue;
             }
-            let outer = dists.partition_point(|&d| d <= 2.0 * r);
-            if outer <= dists.len() / 2 {
+            // |B(2r)| excluding the centre, to match the inner count.
+            let outer = index.ball_size(c, 2.0 * r).saturating_sub(1);
+            if outer <= others / 2 {
                 ratios.push(outer as f64 / inner as f64);
             }
             inner *= 2;

@@ -34,6 +34,11 @@ impl GridSpace {
     pub fn height(&self) -> usize {
         self.h
     }
+
+    /// Distance between adjacent lattice points.
+    pub fn spacing(&self) -> f64 {
+        self.spacing
+    }
 }
 
 impl MetricSpace for GridSpace {
@@ -51,6 +56,10 @@ impl MetricSpace for GridSpace {
 
     fn name(&self) -> &'static str {
         "grid-l1"
+    }
+
+    fn build_index<'a>(&'a self, members: Vec<PointIdx>) -> Box<dyn crate::NearestIndex + 'a> {
+        Box::new(crate::index::PlanarIndex::new(self, members))
     }
 }
 

@@ -1,0 +1,636 @@
+//! Coordinate-aware nearest-neighbor indexes over member sets.
+//!
+//! Every quantity the simulation derives from a metric space — nearest
+//! member, closest-`k` candidate lists, ball sizes `|B_A(r)|` — has a
+//! brute-force O(members) definition in [`crate::space`]. That is fine at
+//! 64 nodes and ruinous at 10 000, where bootstrap alone issues millions
+//! of such queries. A [`NearestIndex`] is a one-time O(members) structure
+//! answering those queries in (near) output-sensitive time by exploiting
+//! the space's coordinates: grid buckets for the planar spaces (torus,
+//! grid, transit-stub) and a sorted position array for the 1-D ring.
+//!
+//! **Contract**: an index query returns *exactly* what the brute-force
+//! path returns, including tie-breaking — ties in distance resolve to the
+//! lower [`PointIdx`]. Debug builds cross-check every query against the
+//! brute-force path (`debug_assertions`), so any divergence fails loudly
+//! in tests; release builds pay only for the indexed path.
+
+use crate::space::{closest_k as brute_closest_k, MetricSpace, PointIdx};
+use crate::{GridSpace, RingSpace, TorusSpace, TransitStubSpace};
+use std::cmp::Ordering;
+
+/// A snapshot index over a fixed member set of one [`MetricSpace`].
+///
+/// Queries may originate at *any* point of the space (member or not);
+/// results are always drawn from the indexed member set. The query point
+/// itself is excluded from `nearest`/`closest_k` (matching
+/// [`crate::nearest`] / [`crate::closest_k`]) but counted by `ball_size`
+/// when it is a member (matching [`MetricSpace::ball_size`]).
+pub trait NearestIndex {
+    /// The indexed members, deduplicated and sorted ascending.
+    fn members(&self) -> &[PointIdx];
+
+    /// The member nearest to `from` (excluding `from`), with its
+    /// distance. Ties resolve to the lower index.
+    fn nearest(&self, from: PointIdx) -> Option<(PointIdx, f64)>;
+
+    /// The `k` members closest to `from` (excluding `from`), sorted by
+    /// `(distance, index)` ascending.
+    fn closest_k(&self, from: PointIdx, k: usize) -> Vec<(PointIdx, f64)>;
+
+    /// Number of members within distance `r` of `from` (the paper's
+    /// `|B_A(r)|` restricted to the member set).
+    fn ball_size(&self, from: PointIdx, r: f64) -> usize;
+}
+
+/// Lexicographic order on `(distance, index)` — the tie-break rule every
+/// index implementation must honor.
+fn cmp_dp(a: (f64, PointIdx), b: (f64, PointIdx)) -> Ordering {
+    a.0.partial_cmp(&b.0).expect("distances are finite").then(a.1.cmp(&b.1))
+}
+
+/// Sorted, deduplicated copy of a member list (canonical index order).
+fn canonical_members(mut members: Vec<PointIdx>) -> Vec<PointIdx> {
+    members.sort_unstable();
+    members.dedup();
+    members
+}
+
+/// A bounded, sorted accumulator of the best `k` `(distance, index)`
+/// candidates seen so far.
+struct TopK {
+    k: usize,
+    best: Vec<(f64, PointIdx)>,
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        TopK { k, best: Vec::with_capacity(k.min(64) + 1) }
+    }
+
+    /// Current k-th best distance (`None` until `k` candidates are held).
+    fn kth(&self) -> Option<f64> {
+        (self.best.len() == self.k).then(|| self.best[self.k - 1].0)
+    }
+
+    fn offer(&mut self, d: f64, p: PointIdx) {
+        if self.k == 0 {
+            return;
+        }
+        if self.best.len() == self.k && cmp_dp((d, p), self.best[self.k - 1]) != Ordering::Less {
+            return;
+        }
+        let at = self.best.partition_point(|&e| cmp_dp(e, (d, p)) == Ordering::Less);
+        self.best.insert(at, (d, p));
+        self.best.truncate(self.k);
+    }
+
+    fn into_pairs(self) -> Vec<(PointIdx, f64)> {
+        self.best.into_iter().map(|(d, p)| (p, d)).collect()
+    }
+}
+
+/// Verify an indexed result against the brute-force ground truth
+/// (debug builds only — this is the `debug_assertions` cross-check the
+/// scale refactor keeps alive).
+fn debug_cross_check<S: MetricSpace + ?Sized>(
+    space: &S,
+    members: &[PointIdx],
+    from: PointIdx,
+    k: usize,
+    got: &[(PointIdx, f64)],
+) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    let want = brute_closest_k(space, from, members, k);
+    let got_idx: Vec<PointIdx> = got.iter().map(|&(p, _)| p).collect();
+    debug_assert_eq!(
+        got_idx, want,
+        "index closest_k({from}, {k}) diverged from brute force over {} members",
+        members.len()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force fallback
+// ---------------------------------------------------------------------------
+
+/// O(members)-per-query fallback index; the default for metric spaces
+/// without a coordinate-aware implementation, and the ground truth the
+/// coordinate indexes are checked against.
+pub struct BruteForceIndex<'a, S: MetricSpace + ?Sized> {
+    space: &'a S,
+    members: Vec<PointIdx>,
+}
+
+impl<'a, S: MetricSpace + ?Sized> BruteForceIndex<'a, S> {
+    /// Index `members` of `space` (copied, sorted, deduplicated).
+    pub fn new(space: &'a S, members: Vec<PointIdx>) -> Self {
+        BruteForceIndex { space, members: canonical_members(members) }
+    }
+}
+
+impl<S: MetricSpace + ?Sized> NearestIndex for BruteForceIndex<'_, S> {
+    fn members(&self) -> &[PointIdx] {
+        &self.members
+    }
+
+    fn nearest(&self, from: PointIdx) -> Option<(PointIdx, f64)> {
+        self.closest_k(from, 1).into_iter().next()
+    }
+
+    fn closest_k(&self, from: PointIdx, k: usize) -> Vec<(PointIdx, f64)> {
+        let mut top = TopK::new(k);
+        for &m in &self.members {
+            if m != from {
+                top.offer(self.space.distance(from, m), m);
+            }
+        }
+        let got = top.into_pairs();
+        debug_cross_check(self.space, &self.members, from, k, &got);
+        got
+    }
+
+    fn ball_size(&self, from: PointIdx, r: f64) -> usize {
+        self.space.ball_size(from, r, &self.members)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Planar grid-bucket index (torus / grid / transit-stub)
+// ---------------------------------------------------------------------------
+
+/// Access to a 2-D embedding whose metric is bounded below by the
+/// coordinate-wise (possibly wrapped) L∞ gap — true for Euclidean,
+/// torus-Euclidean and L1 distances alike. This is what lets grid buckets
+/// prune: a point in a cell ring at (wrapped) Chebyshev cell-distance `c`
+/// is at metric distance at least `(c - 1) · cell`.
+pub(crate) trait Planar: MetricSpace {
+    /// Coordinates of point `p`.
+    fn xy(&self, p: PointIdx) -> (f64, f64);
+    /// Both axes wrap with this period (torus); `None` for flat spaces.
+    fn wrap_side(&self) -> Option<f64> {
+        None
+    }
+}
+
+impl Planar for TorusSpace {
+    fn xy(&self, p: PointIdx) -> (f64, f64) {
+        self.point(p)
+    }
+    fn wrap_side(&self) -> Option<f64> {
+        Some(self.side())
+    }
+}
+
+impl Planar for GridSpace {
+    fn xy(&self, p: PointIdx) -> (f64, f64) {
+        let (x, y) = self.coords(p);
+        (x as f64 * self.spacing(), y as f64 * self.spacing())
+    }
+}
+
+impl Planar for TransitStubSpace {
+    fn xy(&self, p: PointIdx) -> (f64, f64) {
+        self.point(p)
+    }
+}
+
+/// Grid-bucket index over the members of a [`Planar`] space.
+pub(crate) struct PlanarIndex<'a, S: Planar + ?Sized> {
+    space: &'a S,
+    members: Vec<PointIdx>,
+    nx: usize,
+    ny: usize,
+    cell_w: f64,
+    cell_h: f64,
+    ox: f64,
+    oy: f64,
+    wrap: bool,
+    /// Member slots per cell, row-major (`cy * nx + cx`), each in
+    /// ascending member order.
+    cells: Vec<Vec<u32>>,
+}
+
+impl<'a, S: Planar + ?Sized> PlanarIndex<'a, S> {
+    pub(crate) fn new(space: &'a S, members: Vec<PointIdx>) -> Self {
+        let members = canonical_members(members);
+        let m = members.len();
+        let side = space.wrap_side();
+        let wrap = side.is_some();
+        // ~1 member per cell on average keeps both the bucket scan and
+        // the ring walk O(1) expected for uniform-ish point sets.
+        let n_axis = ((m as f64).sqrt().ceil() as usize).max(1);
+        let (ox, oy, w, h) = match side {
+            Some(s) => (0.0, 0.0, s, s),
+            None => {
+                let (mut lo_x, mut lo_y) = (f64::INFINITY, f64::INFINITY);
+                let (mut hi_x, mut hi_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+                for &p in &members {
+                    let (x, y) = space.xy(p);
+                    lo_x = lo_x.min(x);
+                    lo_y = lo_y.min(y);
+                    hi_x = hi_x.max(x);
+                    hi_y = hi_y.max(y);
+                }
+                if m == 0 {
+                    (0.0, 0.0, 1.0, 1.0)
+                } else {
+                    (lo_x, lo_y, (hi_x - lo_x).max(1e-12), (hi_y - lo_y).max(1e-12))
+                }
+            }
+        };
+        let (nx, ny) = (n_axis, n_axis);
+        let cell_w = w / nx as f64;
+        let cell_h = h / ny as f64;
+        let mut cells = vec![Vec::new(); nx * ny];
+        let mut idx = PlanarIndex { space, members, nx, ny, cell_w, cell_h, ox, oy, wrap, cells: Vec::new() };
+        for (slot, &p) in idx.members.iter().enumerate() {
+            let (cx, cy) = idx.cell_of(space.xy(p));
+            cells[cy * idx.nx + cx].push(slot as u32);
+        }
+        idx.cells = cells;
+        idx
+    }
+
+    fn cell_of(&self, (x, y): (f64, f64)) -> (usize, usize) {
+        let cx = ((x - self.ox) / self.cell_w) as isize;
+        let cy = ((y - self.oy) / self.cell_h) as isize;
+        if self.wrap {
+            (cx.rem_euclid(self.nx as isize) as usize, cy.rem_euclid(self.ny as isize) as usize)
+        } else {
+            (cx.clamp(0, self.nx as isize - 1) as usize, cy.clamp(0, self.ny as isize - 1) as usize)
+        }
+    }
+
+    /// Smallest cell dimension — the unit of the ring lower bound.
+    fn min_cell(&self) -> f64 {
+        self.cell_w.min(self.cell_h)
+    }
+
+    /// Metric lower bound for members in cells at (wrapped) Chebyshev
+    /// cell-distance `ring`, with a small slack absorbing f64 rounding.
+    fn ring_lower_bound(&self, ring: usize) -> f64 {
+        let lb = (ring.saturating_sub(1)) as f64 * self.min_cell();
+        lb - (1e-9 * (1.0 + lb))
+    }
+
+    /// Visit every member slot in cells at exactly Chebyshev cell-distance
+    /// `ring` from `(cx, cy)`.
+    fn for_ring(&self, cx: usize, cy: usize, ring: usize, f: &mut impl FnMut(u32)) {
+        let (nx, ny) = (self.nx as isize, self.ny as isize);
+        let r = ring as isize;
+        let mut visit = |x: isize, y: isize| {
+            let (x, y) = if self.wrap {
+                (x.rem_euclid(nx), y.rem_euclid(ny))
+            } else {
+                if x < 0 || x >= nx || y < 0 || y >= ny {
+                    return;
+                }
+                (x, y)
+            };
+            for &slot in &self.cells[(y * nx + x) as usize] {
+                f(slot);
+            }
+        };
+        if ring == 0 {
+            visit(cx as isize, cy as isize);
+            return;
+        }
+        if self.wrap && (2 * r + 1 >= nx || 2 * r + 1 >= ny) {
+            // A wrapped ring this wide would revisit cells through the
+            // seam; enumerate by wrapped Chebyshev distance instead (at
+            // most a few outermost rings per query take this path).
+            let wdist = |d: isize, n: isize| d.abs().min(n - d.abs());
+            for y in 0..ny {
+                for x in 0..nx {
+                    let dx = wdist(x - cx as isize, nx);
+                    let dy = wdist(y - cy as isize, ny);
+                    if dx.max(dy) == r {
+                        visit(x, y);
+                    }
+                }
+            }
+            return;
+        }
+        let (cx, cy) = (cx as isize, cy as isize);
+        for dx in -r..=r {
+            visit(cx + dx, cy - r);
+            visit(cx + dx, cy + r);
+        }
+        for dy in -(r - 1)..=(r - 1) {
+            visit(cx - r, cy + dy);
+            visit(cx + r, cy + dy);
+        }
+    }
+
+    /// Largest ring that can contain unvisited cells.
+    fn max_ring(&self) -> usize {
+        if self.wrap {
+            self.nx.max(self.ny) / 2 + 1
+        } else {
+            // Query cells are clamped into the box, so every cell is
+            // within nx+ny rings of any query.
+            self.nx + self.ny
+        }
+    }
+}
+
+impl<S: Planar + ?Sized> NearestIndex for PlanarIndex<'_, S> {
+    fn members(&self) -> &[PointIdx] {
+        &self.members
+    }
+
+    fn nearest(&self, from: PointIdx) -> Option<(PointIdx, f64)> {
+        self.closest_k(from, 1).into_iter().next()
+    }
+
+    fn closest_k(&self, from: PointIdx, k: usize) -> Vec<(PointIdx, f64)> {
+        if k == 0 || self.members.is_empty() {
+            return Vec::new();
+        }
+        let (cx, cy) = self.cell_of(self.space.xy(from));
+        let mut top = TopK::new(k);
+        for ring in 0..=self.max_ring() {
+            if let Some(kth) = top.kth() {
+                if self.ring_lower_bound(ring) > kth {
+                    break;
+                }
+            }
+            self.for_ring(cx, cy, ring, &mut |slot| {
+                let p = self.members[slot as usize];
+                if p != from {
+                    top.offer(self.space.distance(from, p), p);
+                }
+            });
+        }
+        let got = top.into_pairs();
+        debug_cross_check(self.space, &self.members, from, k, &got);
+        got
+    }
+
+    fn ball_size(&self, from: PointIdx, r: f64) -> usize {
+        if r < 0.0 || self.members.is_empty() {
+            return 0;
+        }
+        let (cx, cy) = self.cell_of(self.space.xy(from));
+        // Cells beyond this ring are all strictly farther than r.
+        let reach = ((r / self.min_cell()) as usize + 2).min(self.max_ring());
+        let mut n = 0usize;
+        for ring in 0..=reach {
+            self.for_ring(cx, cy, ring, &mut |slot| {
+                let p = self.members[slot as usize];
+                if self.space.distance(from, p) <= r {
+                    n += 1;
+                }
+            });
+        }
+        debug_assert_eq!(n, self.space.ball_size(from, r, &self.members));
+        n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1-D ring index
+// ---------------------------------------------------------------------------
+
+/// Sorted-position index over the members of a [`RingSpace`]: nearest and
+/// closest-`k` by two-pointer arc walks, ball sizes by binary search.
+pub(crate) struct RingIndex<'a> {
+    space: &'a RingSpace,
+    /// Members sorted by (position, index).
+    members_by_pos: Vec<PointIdx>,
+    pos: Vec<f64>,
+    /// Members in canonical ascending-index order (trait accessor).
+    members: Vec<PointIdx>,
+    circumference: f64,
+}
+
+impl<'a> RingIndex<'a> {
+    pub(crate) fn new(space: &'a RingSpace, members: Vec<PointIdx>) -> Self {
+        let members = canonical_members(members);
+        let mut members_by_pos = members.clone();
+        members_by_pos.sort_by(|&a, &b| {
+            space
+                .position(a)
+                .partial_cmp(&space.position(b))
+                .expect("positions are finite")
+                .then(a.cmp(&b))
+        });
+        let pos = members_by_pos.iter().map(|&p| space.position(p)).collect();
+        RingIndex { space, members_by_pos, pos, members, circumference: space.circumference() }
+    }
+}
+
+impl NearestIndex for RingIndex<'_> {
+    fn members(&self) -> &[PointIdx] {
+        &self.members
+    }
+
+    fn nearest(&self, from: PointIdx) -> Option<(PointIdx, f64)> {
+        self.closest_k(from, 1).into_iter().next()
+    }
+
+    fn closest_k(&self, from: PointIdx, k: usize) -> Vec<(PointIdx, f64)> {
+        let m = self.pos.len();
+        if k == 0 || m == 0 {
+            return Vec::new();
+        }
+        let c = self.circumference;
+        let p = self.space.position(from);
+        // Walk outward from the insertion point, clockwise and counter-
+        // clockwise at once, always consuming the closer frontier.
+        let start = self.pos.partition_point(|&x| x < p);
+        let mut right = start % m; // ccw frontier (position ≥ p)
+        let mut left = (start + m - 1) % m; // cw frontier
+        let mut taken = 0usize;
+        let mut top = TopK::new(k);
+        while taken < m {
+            let dr = (self.pos[right] - p).rem_euclid(c);
+            let dl = (p - self.pos[left]).rem_euclid(c);
+            if let Some(kth) = top.kth() {
+                // Unconsumed members are at directional distance ≥ both
+                // frontiers, hence at arc distance ≥ min(dl, dr).
+                if dl.min(dr) > kth + 1e-9 * (1.0 + kth) {
+                    break;
+                }
+            }
+            let next = if dr <= dl {
+                let i = right;
+                right = (right + 1) % m;
+                i
+            } else {
+                let i = left;
+                left = (left + m - 1) % m;
+                i
+            };
+            taken += 1;
+            let cand = self.members_by_pos[next];
+            if cand != from {
+                top.offer(self.space.distance(from, cand), cand);
+            }
+        }
+        let got = top.into_pairs();
+        debug_cross_check(self.space, &self.members, from, k, &got);
+        got
+    }
+
+    fn ball_size(&self, from: PointIdx, r: f64) -> usize {
+        let m = self.pos.len();
+        if r < 0.0 || m == 0 {
+            return 0;
+        }
+        let c = self.circumference;
+        let p = self.space.position(from);
+        let n = if 2.0 * r >= c {
+            m
+        } else {
+            // Conservative position window, then exact distance tests on
+            // the candidates (the window only prunes, never decides).
+            let slack = 1e-9 * (1.0 + r);
+            let count_range = |lo: f64, hi: f64| {
+                let a = self.pos.partition_point(|&x| x < lo);
+                let b = self.pos.partition_point(|&x| x <= hi);
+                (a..b)
+                    .filter(|&i| self.space.distance(from, self.members_by_pos[i]) <= r)
+                    .count()
+            };
+            let (lo, hi) = (p - r - slack, p + r + slack);
+            let mut n = count_range(lo.max(0.0), hi.min(c));
+            if lo < 0.0 {
+                n += count_range(lo + c, c);
+            }
+            if hi > c {
+                n += count_range(0.0, hi - c);
+            }
+            n
+        };
+        debug_assert_eq!(n, self.space.ball_size(from, r, &self.members));
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{nearest as brute_nearest, MetricSpace};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Exercise one space: random member subsets, random query points
+    /// (members and non-members), all three query kinds vs brute force.
+    /// In debug builds the indexes also self-check internally; this test
+    /// keeps the agreement guarantee alive in release runs too.
+    fn check_space<S: MetricSpace>(space: &S, seed: u64) {
+        let n = space.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for trial in 0..6 {
+            let density = [0.1, 0.3, 0.5, 0.8, 1.0, 0.05][trial];
+            let members: Vec<PointIdx> =
+                (0..n).filter(|_| rng.gen_range(0.0..1.0) < density).collect();
+            let index = space.build_index(members.clone());
+            assert_eq!(index.members(), &members[..], "members are already sorted+unique");
+            for _ in 0..12 {
+                let from = rng.gen_range(0..n);
+                let k = rng.gen_range(0..8);
+                let got = index.closest_k(from, k);
+                let want = brute_closest_k(space, from, &members, k);
+                let got_idx: Vec<PointIdx> = got.iter().map(|&(p, _)| p).collect();
+                assert_eq!(got_idx, want, "closest_k({from},{k}) on {}", space.name());
+                for &(p, d) in &got {
+                    assert_eq!(d, space.distance(from, p), "returned distances are exact");
+                }
+                assert_eq!(
+                    index.nearest(from).map(|(p, _)| p),
+                    brute_nearest(space, from, &members),
+                    "nearest({from}) on {}",
+                    space.name()
+                );
+                let r = rng.gen_range(-1.0..1.0) * 0.02 * rng.gen_range(1.0..100.0);
+                assert_eq!(
+                    index.ball_size(from, r),
+                    space.ball_size(from, r, &members),
+                    "ball_size({from},{r}) on {}",
+                    space.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn torus_index_agrees_with_brute_force() {
+        check_space(&TorusSpace::random(300, 1000.0, 11), 1);
+        check_space(&TorusSpace::random(40, 10.0, 12), 2);
+    }
+
+    #[test]
+    fn grid_index_agrees_with_brute_force() {
+        // The lattice is dense with exact distance ties — the tie-break
+        // rule (lower index wins) gets a real workout here.
+        check_space(&GridSpace::new(17, 13, 2.0), 3);
+        check_space(&GridSpace::new(5, 40, 1.0), 4);
+    }
+
+    #[test]
+    fn ring_index_agrees_with_brute_force() {
+        check_space(&RingSpace::random(256, 5000.0, 13), 5);
+        check_space(&RingSpace::even(64, 360.0), 6);
+    }
+
+    #[test]
+    fn transit_stub_index_agrees_with_brute_force() {
+        check_space(&TransitStubSpace::new(3, 4, 8, 14), 7);
+    }
+
+    #[test]
+    fn brute_force_fallback_is_the_default() {
+        /// A space with no coordinate structure (distance by index gap).
+        struct Opaque(usize);
+        impl MetricSpace for Opaque {
+            fn len(&self) -> usize {
+                self.0
+            }
+            fn distance(&self, a: PointIdx, b: PointIdx) -> f64 {
+                (a.abs_diff(b)) as f64
+            }
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+        }
+        let s = Opaque(50);
+        check_space(&s, 8);
+    }
+
+    #[test]
+    fn empty_and_tiny_member_sets() {
+        let s = TorusSpace::random(16, 100.0, 15);
+        let empty = s.build_index(Vec::new());
+        assert!(empty.closest_k(3, 4).is_empty());
+        assert_eq!(empty.nearest(3), None);
+        assert_eq!(empty.ball_size(3, 50.0), 0);
+        let solo = s.build_index(vec![7]);
+        assert_eq!(solo.nearest(7), None, "query point excluded");
+        assert_eq!(solo.ball_size(7, 0.0), 1, "ball includes the center member");
+        let (p, d) = solo.nearest(0).expect("one candidate");
+        assert_eq!(p, 7);
+        assert_eq!(d, s.distance(0, 7));
+    }
+
+    #[test]
+    fn duplicate_members_are_deduplicated() {
+        let s = RingSpace::even(8, 80.0);
+        let idx = s.build_index(vec![3, 1, 3, 1, 5]);
+        assert_eq!(idx.members(), &[1, 3, 5]);
+        assert_eq!(idx.closest_k(1, 10).len(), 2);
+    }
+
+    #[test]
+    fn closest_k_beyond_membership_returns_all() {
+        let s = GridSpace::new(6, 6, 1.0);
+        let members: Vec<PointIdx> = (0..36).step_by(3).collect();
+        let idx = s.build_index(members.clone());
+        let got = idx.closest_k(0, 100);
+        assert_eq!(got.len(), members.len() - 1, "all members except the query point");
+    }
+}

@@ -13,6 +13,7 @@
 
 mod expansion;
 mod grid;
+mod index;
 mod ring;
 mod space;
 mod torus;
@@ -20,6 +21,7 @@ mod transit_stub;
 
 pub use expansion::{estimate_expansion, ExpansionEstimate};
 pub use grid::GridSpace;
+pub use index::{BruteForceIndex, NearestIndex};
 pub use ring::RingSpace;
 pub use space::{closest_k, diameter_upper_bound, nearest, MetricSpace, PointIdx};
 pub use torus::TorusSpace;

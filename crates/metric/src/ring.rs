@@ -33,6 +33,11 @@ impl RingSpace {
     pub fn position(&self, i: PointIdx) -> f64 {
         self.pos[i]
     }
+
+    /// Total length of the circle.
+    pub fn circumference(&self) -> f64 {
+        self.circumference
+    }
 }
 
 impl MetricSpace for RingSpace {
@@ -47,6 +52,10 @@ impl MetricSpace for RingSpace {
 
     fn name(&self) -> &'static str {
         "ring1d"
+    }
+
+    fn build_index<'a>(&'a self, members: Vec<PointIdx>) -> Box<dyn crate::NearestIndex + 'a> {
+        Box::new(crate::index::RingIndex::new(self, members))
     }
 }
 

@@ -26,8 +26,22 @@ pub trait MetricSpace: Send + Sync {
 
     /// Number of points of `members` within distance `r` of `a`
     /// (the paper's `|B_A(r)|`, restricted to the active member set).
+    ///
+    /// This default is the O(members) *definition* of a ball; repeated
+    /// callers should [`MetricSpace::build_index`] the member set once and
+    /// use [`crate::NearestIndex::ball_size`], which answers from grid
+    /// buckets and is cross-checked against this path in debug builds.
     fn ball_size(&self, a: PointIdx, r: f64, members: &[PointIdx]) -> usize {
         members.iter().filter(|&&m| self.distance(a, m) <= r).count()
+    }
+
+    /// Build a [`crate::NearestIndex`] over `members` for repeated
+    /// nearest / closest-`k` / ball queries. The default is the
+    /// brute-force fallback; the coordinate-bearing spaces in this crate
+    /// (torus, grid, ring, transit-stub) override it with bucketed
+    /// indexes whose queries stay exact (ties to the lower index).
+    fn build_index<'a>(&'a self, members: Vec<PointIdx>) -> Box<dyn crate::NearestIndex + 'a> {
+        Box::new(crate::index::BruteForceIndex::new(self, members))
     }
 }
 
@@ -40,6 +54,12 @@ impl MetricSpace for Box<dyn MetricSpace> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn ball_size(&self, a: PointIdx, r: f64, members: &[PointIdx]) -> usize {
+        (**self).ball_size(a, r, members)
+    }
+    fn build_index<'a>(&'a self, members: Vec<PointIdx>) -> Box<dyn crate::NearestIndex + 'a> {
+        (**self).build_index(members)
     }
 }
 

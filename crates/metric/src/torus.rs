@@ -69,6 +69,10 @@ impl MetricSpace for TorusSpace {
     fn name(&self) -> &'static str {
         "torus2d"
     }
+
+    fn build_index<'a>(&'a self, members: Vec<PointIdx>) -> Box<dyn crate::NearestIndex + 'a> {
+        Box::new(crate::index::PlanarIndex::new(self, members))
+    }
 }
 
 #[cfg(test)]

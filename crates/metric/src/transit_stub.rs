@@ -60,6 +60,11 @@ impl TransitStubSpace {
         TransitStubSpace { pts, stub_of, stub_radius, n_stubs: stub_id }
     }
 
+    /// Planar coordinates of point `i`.
+    pub fn point(&self, i: PointIdx) -> (f64, f64) {
+        self.pts[i]
+    }
+
     /// The stub network point `i` belongs to.
     pub fn stub_of(&self, i: PointIdx) -> usize {
         self.stub_of[i]
@@ -97,6 +102,10 @@ impl MetricSpace for TransitStubSpace {
 
     fn name(&self) -> &'static str {
         "transit-stub"
+    }
+
+    fn build_index<'a>(&'a self, members: Vec<PointIdx>) -> Box<dyn crate::NearestIndex + 'a> {
+        Box::new(crate::index::PlanarIndex::new(self, members))
     }
 }
 

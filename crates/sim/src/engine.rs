@@ -111,6 +111,20 @@ impl<M, T> Ord for Scheduled<M, T> {
     }
 }
 
+/// Wall-clock throughput report of one bounded engine run — the
+/// real-time measure scale benchmarks track (simulated time and costs
+/// stay in [`SimStats`]; this is about how fast the hardware drains the
+/// queue).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunBudget {
+    /// Events processed during the run.
+    pub events: u64,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Events per wall-clock second (0 when nothing was processed).
+    pub events_per_sec: f64,
+}
+
 /// The discrete-event engine: an event queue over a population of actors
 /// placed at the points of a metric space.
 pub struct Engine<A: Actor> {
@@ -122,6 +136,9 @@ pub struct Engine<A: Actor> {
     stats: SimStats,
     proc_delay: SimTime,
     out_buf: Vec<Effect<A::Msg, A::Timer>>,
+    /// Total events popped over the engine's lifetime (deliveries, timer
+    /// fires, and drops alike) — the denominator of events/sec reporting.
+    events_processed: u64,
     /// Active network partition: group id per point. Messages whose
     /// endpoints fall in different groups are dropped at delivery time
     /// (so a heal lets *later* sends through but cannot resurrect
@@ -142,12 +159,18 @@ impl<A: Actor> Engine<A> {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            // Pre-size the queue to the population: scenario drivers keep
+            // a few in-flight events per node, and growing a binary heap
+            // mid-run re-copies every pending event.
+            queue: BinaryHeap::with_capacity(n.max(64)),
             actors,
             metric,
             stats: SimStats::default(),
             proc_delay,
-            out_buf: Vec::new(),
+            // Reused across every handler invocation (taken, drained,
+            // put back) — the engine allocates no per-event buffers.
+            out_buf: Vec::with_capacity(32),
+            events_processed: 0,
             partition: None,
         }
     }
@@ -193,9 +216,21 @@ impl<A: Actor> Engine<A> {
         idx < self.actors.len() && self.actors[idx].is_some()
     }
 
-    /// Indices of all live nodes.
+    /// Indices of all live nodes, without allocating — prefer this over
+    /// [`Engine::alive_nodes`] anywhere the list is only walked once.
+    pub fn alive_iter(&self) -> impl Iterator<Item = NodeIdx> + '_ {
+        self.actors.iter().enumerate().filter(|(_, a)| a.is_some()).map(|(i, _)| i)
+    }
+
+    /// Indices of all live nodes (an owned copy of
+    /// [`Engine::alive_iter`], for callers that mutate while walking).
     pub fn alive_nodes(&self) -> Vec<NodeIdx> {
-        (0..self.actors.len()).filter(|&i| self.actors[i].is_some()).collect()
+        self.alive_iter().collect()
+    }
+
+    /// Number of live nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive_iter().count()
     }
 
     /// Shared view of a node's state.
@@ -252,11 +287,17 @@ impl<A: Actor> Engine<A> {
         self.queue.push(Reverse(Scheduled { at, seq: self.seq, ev }));
     }
 
+    /// Total events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// Process one event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(Reverse(sch)) = self.queue.pop() else {
             return false;
         };
+        self.events_processed += 1;
         debug_assert!(sch.at >= self.now, "time went backwards");
         self.now = sch.at;
         let (node, work) = match sch.ev {
@@ -324,6 +365,22 @@ impl<A: Actor> Engine<A> {
             n += 1;
         }
         n
+    }
+
+    /// Like [`Engine::run_until_idle`], but timed: returns how many
+    /// events were processed, how long it took in wall-clock terms, and
+    /// the resulting events/sec — the throughput figure the `scale`
+    /// benchmark driver reports. Simulated behaviour is unaffected
+    /// (timing is observation only).
+    pub fn run_budget(&mut self, max_events: u64) -> RunBudget {
+        let start = std::time::Instant::now();
+        let events = self.run_until_idle(max_events);
+        let wall_secs = start.elapsed().as_secs_f64();
+        RunBudget {
+            events,
+            wall_secs,
+            events_per_sec: if wall_secs > 0.0 { events as f64 / wall_secs } else { 0.0 },
+        }
     }
 
     /// Run while the next event is at or before `deadline`.
@@ -483,5 +540,108 @@ mod tests {
     fn double_occupancy_rejected() {
         let mut e = engine2();
         e.add_node(0, Pinger { peer: 1, received: 0 });
+    }
+
+    #[test]
+    fn alive_iter_matches_alive_nodes() {
+        let space = RingSpace::even(5, 100.0);
+        let mut e: Engine<Pinger> = Engine::new(Box::new(space), SimTime(1));
+        for i in [0usize, 2, 4] {
+            e.add_node(i, Pinger { peer: 0, received: 0 });
+        }
+        e.remove_node(2);
+        assert_eq!(e.alive_iter().collect::<Vec<_>>(), vec![0, 4]);
+        assert_eq!(e.alive_nodes(), vec![0, 4]);
+        assert_eq!(e.alive_count(), 2);
+    }
+
+    #[test]
+    fn events_processed_counts_all_pops() {
+        let mut e = engine2();
+        e.inject(0, 3);
+        e.run_until_idle(1000);
+        assert_eq!(e.events_processed(), 4, "injection + 3 bounces");
+        // Drops count too: they are popped from the queue.
+        e.inject(1, 1);
+        e.step();
+        e.remove_node(0);
+        e.run_until_idle(1000);
+        assert_eq!(e.events_processed(), 6);
+        assert_eq!(e.stats().dropped, 1);
+    }
+
+    #[test]
+    fn run_budget_reports_throughput() {
+        let mut e = engine2();
+        e.inject(0, 100);
+        let b = e.run_budget(1000);
+        assert_eq!(b.events, 101);
+        assert!(b.wall_secs >= 0.0);
+        assert!(b.events_per_sec > 0.0, "non-zero run yields a rate");
+        let idle = e.run_budget(1000);
+        assert_eq!(idle.events, 0);
+    }
+
+    /// An actor that logs every receipt into a shared trace, for ordering
+    /// stress tests: `(time, node, payload)` triples in processing order.
+    struct Tracer {
+        log: std::rc::Rc<std::cell::RefCell<Vec<(u64, NodeIdx, u32)>>>,
+    }
+
+    impl Actor for Tracer {
+        type Msg = u32;
+        type Timer = u32;
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: NodeIdx, msg: u32) {
+            self.log.borrow_mut().push((ctx.now.0, ctx.me, msg));
+            // Fan out same-instant work: a self-timer at zero delay and a
+            // burst of timers landing on one shared future instant.
+            if msg < 8 {
+                ctx.set_timer(SimTime::ZERO, msg + 100);
+                ctx.set_timer(SimTime(64 - ctx.now.0 % 64), msg + 200);
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, u32>, timer: u32) {
+            self.log.borrow_mut().push((ctx.now.0, ctx.me, timer));
+        }
+    }
+
+    /// Queue stress: many messages and timers collapsing onto identical
+    /// timestamps must drain in a stable order — same-instant events in
+    /// scheduling (FIFO) order, across runs. This pins the tie-breaking
+    /// contract (`(at, seq)`) the pre-sized queue must preserve.
+    #[test]
+    fn stress_same_instant_ordering_is_stable_fifo() {
+        let run = || {
+            let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            let space = RingSpace::even(8, 64.0);
+            let mut e: Engine<Tracer> = Engine::new(Box::new(space), SimTime(1));
+            for i in 0..8 {
+                e.add_node(i, Tracer { log: log.clone() });
+            }
+            // 64 injections, all delivered at the same instant t=1.
+            for i in 0..64u32 {
+                e.inject((i as usize) % 8, i % 8);
+            }
+            e.run_until_idle(100_000);
+            assert!(e.is_idle());
+            let trace = log.borrow().clone();
+            trace
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "identical schedules must produce identical traces");
+        // Times never go backwards, and the first 64 events (all at t=1)
+        // arrive in injection (FIFO) order.
+        for w in a.windows(2) {
+            assert!(w[0].0 <= w[1].0, "time went backwards in trace");
+        }
+        let first: Vec<u32> = a.iter().take(64).map(|&(t, _, m)| {
+            assert_eq!(t, 1);
+            m
+        }).collect();
+        let expected: Vec<u32> = (0..64).map(|i| i % 8).collect();
+        assert_eq!(first, expected, "same-instant deliveries keep scheduling order");
     }
 }

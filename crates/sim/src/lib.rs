@@ -18,7 +18,7 @@ mod histogram;
 mod stats;
 mod time;
 
-pub use engine::{Actor, Ctx, Engine, NodeIdx, EXTERNAL};
+pub use engine::{Actor, Ctx, Engine, NodeIdx, RunBudget, EXTERNAL};
 pub use histogram::Histogram;
 pub use stats::SimStats;
 pub use time::SimTime;

@@ -10,8 +10,54 @@ use tapestry_core::TapestryConfig;
 use tapestry_sim::SimTime;
 
 /// Every preset name, in report order.
+///
+/// The `scale` family (see [`scale_preset`]) is intentionally *not*
+/// listed here: `--preset all` regenerates the committed
+/// `BENCH_scenarios.json` series, whose byte stability across PRs is a
+/// regression gate — scale points live in their own `BENCH_scale.json`.
 pub const PRESET_NAMES: &[&str] =
     &["steady-zipf", "flash-crowd", "churn-storm", "partition-heal", "mass-failure"];
+
+/// Default node counts of the `scale` benchmark family.
+pub const SCALE_SIZES: &[usize] = &[1_000, 4_000, 10_000];
+
+/// Space side for a scale run of `nodes` nodes: grown with √n from the
+/// 64-node / side-1000 anchor every other preset uses, keeping node
+/// *density* constant so per-hop distances stay comparable while hop
+/// counts grow logarithmically — the regime the paper's O(log n) bounds
+/// describe.
+pub fn scale_side(nodes: usize) -> f64 {
+    1000.0 * (nodes as f64 / 64.0).sqrt()
+}
+
+/// The `scale` preset: the steady-zipf workload on a proportionally
+/// larger space, sized for 1k/4k/10k+ node throughput runs. Phase
+/// durations also stretch with the side so simulated latencies occupy
+/// the same fraction of a phase at every size.
+pub fn scale_preset(nodes: usize, ops: u64, seed: u64, grid: bool) -> ScenarioSpec {
+    let side = scale_side(nodes);
+    let stretch = side / 1000.0;
+    let objects = (nodes / 2).max(8);
+    let spec = ScenarioSpec::new("scale")
+        .capacity(nodes)
+        .initial_nodes(nodes)
+        .objects(objects)
+        .phase(
+            PhaseSpec::new("warmup", d(15_000.0 * stretch))
+                .arrival(Arrival::Even { ops: ops / 5 })
+                .popularity(Popularity::Uniform)
+                .checked(),
+        )
+        .phase(
+            PhaseSpec::new("steady", d(60_000.0 * stretch))
+                .arrival(Arrival::Poisson { ops: ops * 4 / 5 })
+                .popularity(Popularity::Zipf { exponent: 1.1 })
+                .writes(0.1)
+                .checked(),
+        );
+    let spec = if grid { spec.grid(side) } else { spec.torus(side) };
+    spec.seed(seed)
+}
 
 /// A config tuned for scripted churn: failure detection must conclude
 /// within a phase, so the probe deadline is shortened from the 50k-unit
@@ -177,6 +223,29 @@ mod tests {
     #[test]
     fn unknown_preset_is_none() {
         assert!(preset("nope", 64, 500, 42).is_none());
+    }
+
+    #[test]
+    fn scale_presets_validate_at_every_size() {
+        for &n in SCALE_SIZES {
+            for grid in [false, true] {
+                let spec = scale_preset(n, 2000, 42, grid);
+                spec.validate().unwrap_or_else(|e| panic!("scale({n}, grid={grid}): {e}"));
+                assert_eq!(spec.initial_nodes, n);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_space_keeps_density_constant() {
+        // 64 nodes on side 1000 ⇒ density 64/1000²; the scale family must
+        // preserve it so per-hop latencies are comparable across sizes.
+        let d64 = 64.0 / (1000.0f64 * 1000.0);
+        for &n in SCALE_SIZES {
+            let side = scale_side(n);
+            let d = n as f64 / (side * side);
+            assert!((d - d64).abs() / d64 < 1e-9, "density drifted at n={n}");
+        }
     }
 
     #[test]

@@ -35,11 +35,37 @@ enum Action {
     Churn(ChurnEvent),
 }
 
+/// Engine-level totals of one scenario run, for throughput reporting.
+///
+/// Kept *outside* [`ScenarioReport`] on purpose: the report's JSON is a
+/// committed, byte-stable regression artifact, while these totals feed
+/// wall-clock-relative figures (events/sec) that only the scale driver
+/// emits.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunTotals {
+    /// Engine events processed (deliveries, timer fires, drops).
+    pub events: u64,
+    /// Overlay messages sent.
+    pub messages: u64,
+    /// Timers fired.
+    pub timers: u64,
+    /// Largest per-node routing table observed at any phase boundary.
+    pub peak_table_entries: usize,
+    /// Live members at scenario end.
+    pub final_nodes: usize,
+}
+
 /// Run `spec` to completion and return its report.
 ///
 /// Deterministic: the same spec (including seed) produces a bit-identical
 /// report on the same platform.
 pub fn run(spec: &ScenarioSpec) -> Result<ScenarioReport, String> {
+    run_with_totals(spec).map(|(report, _)| report)
+}
+
+/// [`run`], additionally returning the engine-level [`RunTotals`] the
+/// deterministic report deliberately omits.
+pub fn run_with_totals(spec: &ScenarioSpec) -> Result<(ScenarioReport, RunTotals), String> {
     spec.validate()?;
     let space = spec.build_space();
     let total_points = space.len();
@@ -77,6 +103,7 @@ pub fn run(spec: &ScenarioSpec) -> Result<ScenarioReport, String> {
     };
     let mut all_latency = Histogram::new();
     let mut all_hops = Histogram::new();
+    let mut peak_table_entries = 0usize;
 
     for phase in &spec.phases {
         let start = net.engine().now();
@@ -168,6 +195,8 @@ pub fn run(spec: &ScenarioSpec) -> Result<ScenarioReport, String> {
         let stats1 = net.engine().stats();
         all_latency.merge(&latency);
         all_hops.merge(&hops);
+        let snapshot = net.snapshot();
+        peak_table_entries = peak_table_entries.max(snapshot.max_table_entries);
         report.phases.push(PhaseReport {
             name: phase.name.clone(),
             sim_start: start.as_distance(),
@@ -185,17 +214,26 @@ pub fn run(spec: &ScenarioSpec) -> Result<ScenarioReport, String> {
             partition_dropped: stats1.partition_dropped - stats0.partition_dropped,
             counters: counter_deltas(stats1, &stats0),
             invariants,
-            avg_table_entries: net.snapshot().avg_table_entries,
+            avg_table_entries: snapshot.avg_table_entries,
         });
     }
 
     report.finalize(&all_latency, &all_hops, LATENCY_SCALE);
-    Ok(report)
+    let stats = net.engine().stats();
+    let totals = RunTotals {
+        events: net.engine().events_processed(),
+        messages: stats.messages,
+        timers: stats.timers,
+        peak_table_entries,
+        final_nodes: net.len(),
+    };
+    Ok((report, totals))
 }
 
-/// Uniformly random live member.
+/// Uniformly random live member (allocation-free: samples the network's
+/// sorted member slice directly — this runs once per issued operation).
 fn random_member(net: &TapestryNetwork, rng: &mut StdRng) -> NodeIdx {
-    let members = net.node_ids();
+    let members = net.members();
     members[rng.gen_range(0..members.len())]
 }
 
