@@ -68,12 +68,18 @@ impl LocatorSystem for Broadcast {
 
     fn locate(&self, origin: PointIdx, key: u64) -> Option<LookupPath> {
         let servers = self.directory.get(&key)?;
-        // Every node knows all replicas: go straight to the nearest.
-        let &server = servers.iter().min_by(|&&a, &&b| {
-            self.space
-                .distance(origin, a)
-                .partial_cmp(&self.space.distance(origin, b))
-                .unwrap()
+        // Every node knows all replicas: go straight to the nearest. A
+        // single top-1 query over an ad-hoc candidate list is exactly
+        // where a linear scan is optimal — an index build is O(m log m)
+        // before its first answer, and nothing persists between locates
+        // to amortize it against (the indexed port of this tie-break
+        // contract lives where sets *are* reused: `PrrV0::build`). The
+        // `(distance, index)` order matches `NearestIndex` exactly, and
+        // an origin that is itself a replica wins at distance 0.
+        let server = servers.iter().copied().min_by(|&a, &b| {
+            (self.space.distance(origin, a), a)
+                .partial_cmp(&(self.space.distance(origin, b), b))
+                .expect("distances are finite")
         })?;
         let nodes = if server == origin { vec![origin] } else { vec![origin, server] };
         Some(LookupPath { nodes })

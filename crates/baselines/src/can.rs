@@ -87,10 +87,7 @@ impl Can {
     }
 
     fn zone_containing(&self, p: [f64; 2]) -> usize {
-        self.zones
-            .iter()
-            .position(|z| z.contains(p))
-            .expect("zones tile the unit square")
+        self.zones.iter().position(|z| z.contains(p)).expect("zones tile the unit square")
     }
 
     /// Greedy zone routing from `from_zone` to the zone containing `p`.
@@ -242,11 +239,7 @@ mod tests {
     #[test]
     fn zones_tile_the_square() {
         let c = grid(64, 1);
-        let area: f64 = c
-            .zones
-            .iter()
-            .map(|z| (z.hi[0] - z.lo[0]) * (z.hi[1] - z.lo[1]))
-            .sum();
+        let area: f64 = c.zones.iter().map(|z| (z.hi[0] - z.lo[0]) * (z.hi[1] - z.lo[1])).sum();
         assert!((area - 1.0).abs() < 1e-9, "zones partition the space, area={area}");
     }
 

@@ -106,9 +106,7 @@ impl Chord {
                 let fid = self.ids[&f];
                 if Self::in_interval(cur_id, fid, t.wrapping_sub(1)) {
                     // Among fingers in (cur, t), keep the ring-farthest.
-                    if next == cur
-                        || Self::in_interval(self.ids[&next], fid, t.wrapping_sub(1))
-                    {
+                    if next == cur || Self::in_interval(self.ids[&next], fid, t.wrapping_sub(1)) {
                         next = f;
                     }
                 }
@@ -155,8 +153,7 @@ impl Chord {
         let mut spent = 0u64;
         if self.ring.len() > 1 {
             // Resolve each finger through the existing overlay.
-            let others: Vec<PointIdx> =
-                self.ids.keys().copied().filter(|&p| p != point).collect();
+            let others: Vec<PointIdx> = self.ids.keys().copied().filter(|&p| p != point).collect();
             let gw = others[self.rng.gen_range(0..others.len())];
             spent += self.route(gw, id.wrapping_add(1)).len() as u64 - 1;
             for i in (64 - self.m)..64 {

@@ -50,8 +50,7 @@ impl Pastry {
     }
 
     fn node_id(&self, point: PointIdx) -> Id {
-        let v = splitmix64(point as u64 ^ self.seed.rotate_left(31))
-            % self.space_cfg.cardinality();
+        let v = splitmix64(point as u64 ^ self.seed.rotate_left(31)) % self.space_cfg.cardinality();
         Id::from_u64(self.space_cfg, v)
     }
 
@@ -63,11 +62,7 @@ impl Pastry {
     /// tests to sanity-check routing terminals).
     pub fn numeric_root(&self, target: &Id) -> PointIdx {
         let t = target.to_u64();
-        self.order
-            .iter()
-            .min_by_key(|&&(v, _)| v.abs_diff(t))
-            .map(|&(_, p)| p)
-            .expect("non-empty")
+        self.order.iter().min_by_key(|&&(v, _)| v.abs_diff(t)).map(|&(_, p)| p).expect("non-empty")
     }
 
     fn base(&self) -> usize {
@@ -97,11 +92,7 @@ impl Pastry {
         let node = &self.nodes[&cur];
         let mut best = cur;
         let mut best_score = self.score(cur, target);
-        let candidates = node
-            .leaves
-            .iter()
-            .copied()
-            .chain(node.table.iter().flatten().copied());
+        let candidates = node.leaves.iter().copied().chain(node.table.iter().flatten().copied());
         for c in candidates {
             let s = self.score(c, target);
             if Self::better(s, best_score) {

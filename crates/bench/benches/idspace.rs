@@ -53,7 +53,10 @@ fn bench_table(c: &mut Criterion) {
         let mut i = 512usize;
         b.iter(|| {
             i += 1;
-            let r = NodeRef::new(i, Id::from_u64(s, (i as u64).wrapping_mul(0x9E37_79B9) & 0xFFFF_FFFF));
+            let r = NodeRef::new(
+                i,
+                Id::from_u64(s, (i as u64).wrapping_mul(0x9E37_79B9) & 0xFFFF_FFFF),
+            );
             black_box(table.clone().add_if_closer(r, 5.0, 3))
         })
     });

@@ -11,9 +11,7 @@ fn build_net(n: usize, seed: u64) -> TapestryNetwork {
 }
 
 fn bench_build(c: &mut Criterion) {
-    c.bench_function("overlay/static_build_128", |b| {
-        b.iter(|| black_box(build_net(128, 3)))
-    });
+    c.bench_function("overlay/static_build_128", |b| b.iter(|| black_box(build_net(128, 3))));
 }
 
 fn bench_publish_locate(c: &mut Criterion) {

@@ -58,7 +58,8 @@ fn run(scheme: RoutingScheme, seed: u64) -> (f64, f64, f64, f64) {
 fn main() {
     header(&["scheme", "root_load_cv", "max_root_share", "lookup_hops", "mean_stretch"]);
     let results = parallel_sweep(8, |job| {
-        let scheme = if job % 2 == 0 { RoutingScheme::TapestryNative } else { RoutingScheme::PrrLike };
+        let scheme =
+            if job % 2 == 0 { RoutingScheme::TapestryNative } else { RoutingScheme::PrrLike };
         (scheme, run(scheme, 18_000 + (job / 2) as u64))
     });
     for scheme in [RoutingScheme::TapestryNative, RoutingScheme::PrrLike] {

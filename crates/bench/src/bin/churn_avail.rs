@@ -18,11 +18,7 @@ const N0: usize = 128;
 const EXTRA: usize = 24;
 const OBJECTS: usize = 32;
 
-fn phase_stats(
-    net: &mut TapestryNetwork,
-    objects: &[(usize, tapestry_id::Guid)],
-    label: &str,
-) {
+fn phase_stats(net: &mut TapestryNetwork, objects: &[(usize, tapestry_id::Guid)], label: &str) {
     let mut ok = 0usize;
     let total = objects.len() * 4;
     for (i, &(_, g)) in objects.iter().enumerate() {
@@ -59,7 +55,15 @@ fn phase_stats(
 }
 
 fn main() {
-    header(&["phase", "n", "queries_ok", "availability", "prop1_viol", "prop4_viol", "dangling_ptrs"]);
+    header(&[
+        "phase",
+        "n",
+        "queries_ok",
+        "availability",
+        "prop1_viol",
+        "prop4_viol",
+        "dangling_ptrs",
+    ]);
     let seed = 14_000u64;
     let space = TorusSpace::random(N0 + EXTRA, 1000.0, seed);
     let mut net = TapestryNetwork::bootstrap(TapestryConfig::default(), Box::new(space), seed, N0);
@@ -92,11 +96,8 @@ fn main() {
     // Phase 3: voluntary departures (Fig. 12).
     let publishers: std::collections::BTreeSet<usize> = objects.iter().map(|&(s, _)| s).collect();
     for _ in 0..10 {
-        let leaver = net
-            .node_ids()
-            .into_iter()
-            .find(|m| !publishers.contains(m))
-            .expect("non-publisher");
+        let leaver =
+            net.node_ids().into_iter().find(|m| !publishers.contains(m)).expect("non-publisher");
         assert!(net.leave(leaver));
     }
     phase_stats(&mut net, &objects, "after_10_leaves");

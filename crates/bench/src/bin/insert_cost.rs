@@ -14,7 +14,13 @@ const JOINS: usize = 8;
 
 fn main() {
     header(&[
-        "n", "msgs/insert", "dist/insert", "log2(n)^2", "d*log2(n)", "msgs/log2^2", "dist/(d*log)",
+        "n",
+        "msgs/insert",
+        "dist/insert",
+        "log2(n)^2",
+        "d*log2(n)",
+        "msgs/log2^2",
+        "dist/(d*log)",
     ]);
     let sizes = [32usize, 64, 128, 256, 512, 1024];
     let rows = parallel_sweep(sizes.len(), |si| {

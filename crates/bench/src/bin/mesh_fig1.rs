@@ -45,10 +45,7 @@ fn main() {
     let mut checked = 0;
     for r in node.table().all_refs() {
         let peer = net.node(r.idx).unwrap();
-        assert!(
-            peer.backpointers().any(|b| b.idx == subject),
-            "forward link without backpointer"
-        );
+        assert!(peer.backpointers().any(|b| b.idx == subject), "forward link without backpointer");
         checked += 1;
     }
     println!("\nall {checked} forward links have matching backpointers; labels verified.");

@@ -13,8 +13,14 @@ use tapestry_metric::{diameter_upper_bound, TorusSpace};
 
 fn main() {
     header(&[
-        "n", "gcp_len", "recipients", "ground_truth", "edges", "k_minus_1",
-        "dist_cost", "k_times_diam",
+        "n",
+        "gcp_len",
+        "recipients",
+        "ground_truth",
+        "edges",
+        "k_minus_1",
+        "dist_cost",
+        "k_times_diam",
     ]);
     let sizes = [32usize, 64, 128, 256, 512];
     let out = parallel_sweep(sizes.len() * 4, |job| {
@@ -38,13 +44,8 @@ fn main() {
         // instead use the longest prefix of the new node's ID matched by
         // any pre-existing member (that is exactly the surrogate's GCP).
         let new_id = net.id_of(n);
-        let gcp = (0..n)
-            .map(|m| net.id_of(m).shared_prefix_len(&new_id))
-            .max()
-            .unwrap();
-        let truth = (0..n)
-            .filter(|&m| net.id_of(m).shared_prefix_len(&new_id) >= gcp)
-            .count();
+        let gcp = (0..n).map(|m| net.id_of(m).shared_prefix_len(&new_id)).max().unwrap();
+        let truth = (0..n).filter(|&m| net.id_of(m).shared_prefix_len(&new_id) >= gcp).count();
         let members: Vec<usize> = (0..n).collect();
         let diam = diameter_upper_bound(&members_space, &members);
         (n, gcp, recipients, truth, edges, dist, diam)

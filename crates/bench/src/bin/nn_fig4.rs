@@ -108,9 +108,7 @@ fn one_trial(k: usize, seed: u64) -> Trial {
 }
 
 fn main() {
-    header(&[
-        "k", "nn_exact_rate", "slot_optimal_rate", "thm4_missing/trial", "msgs/insert",
-    ]);
+    header(&["k", "nn_exact_rate", "slot_optimal_rate", "thm4_missing/trial", "msgs/insert"]);
     let ks = [1usize, 2, 4, 8, 16, 24, 32];
     let all = parallel_sweep(ks.len() * TRIALS, |job| {
         let k = ks[job / TRIALS];

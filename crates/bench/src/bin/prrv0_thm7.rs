@@ -13,7 +13,12 @@ use tapestry_prrv0::PrrV0;
 
 const OBJECTS: usize = 32;
 
-fn measure(space: Box<dyn MetricSpace>, dist: Box<dyn MetricSpace>, n: usize, seed: u64) -> (f64, f64, f64) {
+fn measure(
+    space: Box<dyn MetricSpace>,
+    dist: Box<dyn MetricSpace>,
+    n: usize,
+    seed: u64,
+) -> (f64, f64, f64) {
     let mut sys = PrrV0::build(space, (0..n).collect(), 2, seed);
     let mut keys = Vec::new();
     for i in 0..OBJECTS {
@@ -40,9 +45,7 @@ fn measure(space: Box<dyn MetricSpace>, dist: Box<dyn MetricSpace>, n: usize, se
 }
 
 fn main() {
-    header(&[
-        "metric", "n", "stretch_p50", "stretch_p95", "space/node", "log2(n)^2", "log2(n)^3",
-    ]);
+    header(&["metric", "n", "stretch_p50", "stretch_p95", "space/node", "log2(n)^2", "log2(n)^3"]);
     let sizes = [64usize, 128, 256, 512];
     let rows = parallel_sweep(sizes.len() * 2, |job| {
         let n = sizes[job / 2];
@@ -62,10 +65,7 @@ fn main() {
     });
     for (name, n, (p50, p95, space)) in rows {
         let lg = (n as f64).log2();
-        assert!(
-            p95 < lg.powi(3),
-            "{name} n={n}: p95 stretch {p95} exceeds the log³ bound"
-        );
+        assert!(p95 < lg.powi(3), "{name} n={n}: p95 stretch {p95} exceeds the log³ bound");
         row(&[
             name.to_string(),
             n.to_string(),

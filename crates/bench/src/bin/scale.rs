@@ -1,33 +1,39 @@
-//! **Scale driver** — the 64→10k+ node benchmark trajectory.
+//! **Scale driver** — the 64→25k+ node benchmark trajectory.
 //!
 //! Runs the `scale` preset family (steady-zipf traffic on proportionally
 //! larger spaces, constant node density) and emits one point per network
-//! size: wall-clock, engine events and events/sec, peak routing-table
-//! size, and p50/p99 locate latency and hops.
+//! size and substrate: wall-clock and bootstrap seconds *per thread
+//! count*, engine events and events/sec, peak routing-table size, and
+//! p50/p99 locate latency and hops.
 //!
 //! ```sh
-//! scale                                      # 1k / 4k / 10k, torus
-//! scale --nodes 256                          # one point
-//! scale --nodes 1000,4000,10000 --space grid
+//! scale                                      # 1k/4k/10k/25k, torus, 1+4 threads
+//! scale --nodes 256 --threads 1              # one point, sequential
+//! scale --nodes 1000,10000 --space torus,transit-stub
 //! scale --json BENCH_scale.json              # the committed trajectory
 //! scale --nodes 1000 --sim-json a.json       # deterministic part only
 //! ```
+//!
+//! Every point is run once per `--threads` value and the driver *fails*
+//! unless all thread counts produce byte-identical reports — the
+//! determinism contract CI's `determinism-matrix` job enforces on the
+//! scenario presets is enforced here on every scale point, every run.
 //!
 //! The `--json` output contains wall-clock figures and is therefore a
 //! *benchmark* artifact (machine-dependent); `--sim-json` writes the full
 //! deterministic scenario reports, which CI diffs across same-seed runs
 //! as a non-determinism gate.
 
-use std::time::Instant;
 use tapestry_bench::{f2, header, row};
-use tapestry_workload::presets::{scale_preset, SCALE_SIZES};
-use tapestry_workload::{runner, RunTotals, ScenarioReport};
+use tapestry_workload::presets::{scale_preset, ScaleSpace, SCALE_SIZES};
+use tapestry_workload::{runner, RunTiming, RunTotals, ScenarioReport};
 
 struct Args {
     nodes: Vec<usize>,
     ops: u64,
     seed: u64,
-    grid: bool,
+    spaces: Vec<ScaleSpace>,
+    threads: Vec<usize>,
     json: Option<String>,
     sim_json: Option<String>,
     quiet: bool,
@@ -35,9 +41,10 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scale [--nodes N[,N,...]] [--ops N] [--seed S] [--space torus|grid]\n\
+        "usage: scale [--nodes N[,N,...]] [--ops N] [--seed S]\n\
+         \x20            [--space torus|grid|transit-stub[,...]] [--threads T[,T,...]]\n\
          \x20            [--json PATH] [--sim-json PATH] [--quiet]\n\
-         defaults: --nodes {} --ops 2000 --seed 42 --space torus",
+         defaults: --nodes {} --ops 2000 --seed 42 --space torus --threads 1,4",
         SCALE_SIZES.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(",")
     );
     std::process::exit(2)
@@ -48,7 +55,8 @@ fn parse_args() -> Args {
         nodes: SCALE_SIZES.to_vec(),
         ops: 2000,
         seed: 42,
-        grid: false,
+        spaces: vec![ScaleSpace::Torus],
+        threads: vec![1, 4],
         json: None,
         sim_json: None,
         quiet: false,
@@ -73,11 +81,24 @@ fn parse_args() -> Args {
             }
             "--ops" => args.ops = val("--ops").parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
-            "--space" => match val("--space").as_str() {
-                "torus" => args.grid = false,
-                "grid" => args.grid = true,
-                _ => usage(),
-            },
+            "--space" => {
+                args.spaces = val("--space")
+                    .split(',')
+                    .map(|s| ScaleSpace::parse(s.trim()).unwrap_or_else(|| usage()))
+                    .collect();
+                if args.spaces.is_empty() {
+                    usage()
+                }
+            }
+            "--threads" => {
+                args.threads = val("--threads")
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if args.threads.is_empty() || args.threads.contains(&0) {
+                    usage()
+                }
+            }
             "--json" => args.json = Some(val("--json")),
             "--sim-json" => args.sim_json = Some(val("--sim-json")),
             "--quiet" => args.quiet = true,
@@ -87,25 +108,32 @@ fn parse_args() -> Args {
     args
 }
 
-/// One trajectory point: the deterministic report, the engine totals and
-/// the wall-clock measurement around the whole run (bootstrap included).
+/// One trajectory point: the deterministic report and engine totals
+/// (identical across thread counts — verified), plus per-thread-count
+/// wall-clock measurements.
 struct Point {
     report: ScenarioReport,
     totals: RunTotals,
-    wall_secs: f64,
+    threads: Vec<usize>,
+    timings: Vec<RunTiming>,
+}
+
+fn join_f3(vals: impl Iterator<Item = f64>) -> String {
+    vals.map(|v| format!("{v:.3}")).collect::<Vec<_>>().join(",")
 }
 
 /// Hand-rolled JSON for the benchmark artifact: fixed key order, three
 /// decimals for floats, integers verbatim (the same conventions as the
 /// scenario reports, minus the machine-independence guarantee — wall
-/// clock is the point here).
+/// clock is the point here). Per-thread-count measurements are parallel
+/// arrays under `threads` / `wall_secs` / `bootstrap_secs` /
+/// `events_per_sec`.
 fn point_json(p: &Point, ops: u64, seed: u64) -> String {
     let r = &p.report;
-    let events_per_sec =
-        if p.wall_secs > 0.0 { p.totals.events as f64 / p.wall_secs } else { 0.0 };
     format!(
         "{{\"nodes\":{},\"space\":\"{}\",\"seed\":{},\"ops\":{},\
-         \"wall_secs\":{:.3},\"events\":{},\"events_per_sec\":{:.0},\
+         \"threads\":[{}],\"wall_secs\":[{}],\"bootstrap_secs\":[{}],\
+         \"events_per_sec\":[{}],\"events\":{},\
          \"messages\":{},\"timers\":{},\"peak_table_entries\":{},\
          \"issued\":{},\"found_live\":{},\"lost\":{},\
          \"latency_p50\":{:.3},\"latency_p99\":{:.3},\
@@ -114,9 +142,15 @@ fn point_json(p: &Point, ops: u64, seed: u64) -> String {
         r.space,
         seed,
         ops,
-        p.wall_secs,
+        p.threads.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(","),
+        join_f3(p.timings.iter().map(|t| t.bootstrap_secs + t.drive_secs)),
+        join_f3(p.timings.iter().map(|t| t.bootstrap_secs)),
+        p.timings
+            .iter()
+            .map(|t| format!("{:.0}", t.events_per_sec(p.totals.events)))
+            .collect::<Vec<_>>()
+            .join(","),
         p.totals.events,
-        events_per_sec,
         p.totals.messages,
         p.totals.timers,
         p.totals.peak_table_entries,
@@ -133,49 +167,74 @@ fn point_json(p: &Point, ops: u64, seed: u64) -> String {
 fn main() {
     let args = parse_args();
     let mut points = Vec::new();
-    for &n in &args.nodes {
-        let spec = scale_preset(n, args.ops, args.seed, args.grid);
-        let start = Instant::now();
-        let (report, totals) = match runner::run_with_totals(&spec) {
-            Ok(x) => x,
-            Err(e) => {
-                eprintln!("scale({n}): {e}");
-                std::process::exit(1)
+    for &space in &args.spaces {
+        for &n in &args.nodes {
+            let mut point: Option<Point> = None;
+            for &threads in &args.threads {
+                let spec = scale_preset(n, args.ops, args.seed, space, threads);
+                let (report, totals, timing) = match runner::run_timed(&spec) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        eprintln!("scale({n}, {space:?}): {e}");
+                        std::process::exit(1)
+                    }
+                };
+                match &mut point {
+                    None => {
+                        point = Some(Point {
+                            report,
+                            totals,
+                            threads: vec![threads],
+                            timings: vec![timing],
+                        })
+                    }
+                    Some(p) => {
+                        // The determinism gate: byte-identical reports and
+                        // identical engine totals at every thread count.
+                        if p.report.to_json() != report.to_json() || p.totals != totals {
+                            eprintln!(
+                                "scale({n}, {space:?}): report diverged between --threads {} and {threads}",
+                                p.threads[0]
+                            );
+                            std::process::exit(1)
+                        }
+                        p.threads.push(threads);
+                        p.timings.push(timing);
+                    }
+                }
             }
-        };
-        let wall_secs = start.elapsed().as_secs_f64();
-        points.push(Point { report, totals, wall_secs });
+            points.push(point.expect("at least one thread count"));
+        }
     }
 
     if !args.quiet {
         header(&[
-            "nodes", "space", "wall_s", "events", "events/s", "peak_tbl", "issued", "ok",
+            "nodes", "space", "thr", "wall_s", "boot_s", "events/s", "peak_tbl", "issued", "ok",
             "lat_p99", "hops_p99",
         ]);
         for p in &points {
-            let eps = if p.wall_secs > 0.0 { p.totals.events as f64 / p.wall_secs } else { 0.0 };
-            row(&[
-                p.report.initial_nodes.to_string(),
-                p.report.space.clone(),
-                f2(p.wall_secs),
-                p.totals.events.to_string(),
-                format!("{eps:.0}"),
-                p.totals.peak_table_entries.to_string(),
-                p.report.total_ops.issued.to_string(),
-                p.report.total_ops.found_live.to_string(),
-                f2(p.report.total_latency.p99),
-                f2(p.report.total_hops.p99),
-            ]);
+            for (i, &t) in p.threads.iter().enumerate() {
+                let tm = &p.timings[i];
+                row(&[
+                    p.report.initial_nodes.to_string(),
+                    p.report.space.clone(),
+                    t.to_string(),
+                    f2(tm.bootstrap_secs + tm.drive_secs),
+                    f2(tm.bootstrap_secs),
+                    format!("{:.0}", tm.events_per_sec(p.totals.events)),
+                    p.totals.peak_table_entries.to_string(),
+                    p.report.total_ops.issued.to_string(),
+                    p.report.total_ops.found_live.to_string(),
+                    f2(p.report.total_latency.p99),
+                    f2(p.report.total_hops.p99),
+                ]);
+            }
         }
     }
 
     let json = format!(
         "[{}]",
-        points
-            .iter()
-            .map(|p| point_json(p, args.ops, args.seed))
-            .collect::<Vec<_>>()
-            .join(",")
+        points.iter().map(|p| point_json(p, args.ops, args.seed)).collect::<Vec<_>>().join(",")
     );
     match &args.json {
         Some(path) => std::fs::write(path, &json).expect("write scale json"),

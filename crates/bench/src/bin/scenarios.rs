@@ -21,6 +21,7 @@ struct Args {
     nodes: usize,
     ops: u64,
     seed: u64,
+    threads: usize,
     json: Option<String>,
     csv: Option<String>,
     quiet: bool,
@@ -28,10 +29,11 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenarios --preset <name|all> [--nodes N] [--ops N] [--seed S]\n\
+        "usage: scenarios --preset <name|all> [--nodes N] [--ops N] [--seed S] [--threads T]\n\
          \x20                [--json PATH] [--csv PATH] [--quiet]\n\
          \x20      scenarios --list\n\
-         presets: {}",
+         presets: {}\n\
+         --threads only changes wall-clock time: reports are byte-identical at every value",
         presets::PRESET_NAMES.join(", ")
     );
     std::process::exit(2)
@@ -43,21 +45,30 @@ fn parse_args() -> Args {
         nodes: 64,
         ops: 500,
         seed: 42,
+        threads: 1,
         json: None,
         csv: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut val = |name: &str| it.next().unwrap_or_else(|| {
-            eprintln!("missing value for {name}");
-            usage()
-        });
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
         match a.as_str() {
             "--preset" => args.preset = val("--preset"),
             "--nodes" => args.nodes = val("--nodes").parse().unwrap_or_else(|_| usage()),
             "--ops" => args.ops = val("--ops").parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--threads" => {
+                args.threads = val("--threads").parse().unwrap_or_else(|_| usage());
+                if args.threads == 0 {
+                    usage()
+                }
+            }
             "--json" => args.json = Some(val("--json")),
             "--csv" => args.csv = Some(val("--csv")),
             "--quiet" => args.quiet = true,
@@ -115,7 +126,9 @@ fn main() {
 
     let mut reports = Vec::new();
     for name in names {
-        let spec = presets::preset(name, args.nodes, args.ops, args.seed).expect("known preset");
+        let spec = presets::preset(name, args.nodes, args.ops, args.seed)
+            .expect("known preset")
+            .threads(args.threads);
         match runner::run(&spec) {
             Ok(r) => {
                 if !args.quiet {

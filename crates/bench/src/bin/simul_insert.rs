@@ -15,8 +15,7 @@ const SEEDS: usize = 8;
 
 fn main() {
     header(&["n0", "batch", "completed", "prop1_viol", "unique_roots", "runs"]);
-    let cases: Vec<(usize, usize)> =
-        vec![(8, 4), (16, 8), (64, 8), (64, 16), (128, 16), (128, 32)];
+    let cases: Vec<(usize, usize)> = vec![(8, 4), (16, 8), (64, 8), (64, 16), (128, 16), (128, 32)];
     let all = parallel_sweep(cases.len() * SEEDS, |job| {
         let (n0, batch) = cases[job / SEEDS];
         let seed = 15_000 + job as u64;
@@ -28,9 +27,7 @@ fn main() {
             net.insert_node_via(idx, members[(i * 7) % members.len()]);
         }
         net.run_to_idle();
-        let completed = (n0..n0 + batch)
-            .filter(|&idx| net.finish_insert_bookkeeping(idx))
-            .count();
+        let completed = (n0..n0 + batch).filter(|&idx| net.finish_insert_bookkeeping(idx)).count();
         let p1 = net.check_property1().len();
         let mut unique = true;
         for _ in 0..12 {
@@ -40,10 +37,7 @@ fn main() {
         (n0, batch, completed, p1, unique)
     });
     for &(n0, batch) in &cases {
-        let runs: Vec<_> = all
-            .iter()
-            .filter(|&&(a, b, ..)| a == n0 && b == batch)
-            .collect();
+        let runs: Vec<_> = all.iter().filter(|&&(a, b, ..)| a == n0 && b == batch).collect();
         let completed: usize = runs.iter().map(|r| r.2).sum();
         let p1: usize = runs.iter().map(|r| r.3).sum();
         let uniq = runs.iter().filter(|r| r.4).count();

@@ -40,13 +40,7 @@ fn main() {
     for (n, unique, mh) in rows {
         let logb = (n as f64).log2() / 4.0; // log base 16
         assert_eq!(unique, GUIDS, "Theorem 2 violated at n={n}");
-        row(&[
-            n.to_string(),
-            format!("{unique}/{GUIDS}"),
-            f2(mh),
-            f2(logb),
-            f2(mh - logb),
-        ]);
+        row(&[n.to_string(), format!("{unique}/{GUIDS}"), f2(mh), f2(logb), f2(mh - logb)]);
     }
     println!("\n# unique_roots must be {GUIDS}/{GUIDS} on every row (Theorem 2);");
     println!("# extra_hops (mean hops beyond log16 n digit resolutions) stays");

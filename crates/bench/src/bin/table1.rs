@@ -180,8 +180,13 @@ fn prrv0_row(n: usize, seed: u64) -> Row {
 
 fn main() {
     header(&[
-        "system", "n", "insert_msgs/join", "routing_entries/node", "lookup_hops",
-        "stretch_median", "dir_balance(max/avg)",
+        "system",
+        "n",
+        "insert_msgs/join",
+        "routing_entries/node",
+        "lookup_hops",
+        "stretch_median",
+        "dir_balance(max/avg)",
     ]);
     let sizes = [64usize, 256, 1024];
     let rows = parallel_sweep(sizes.len(), |si| {
@@ -191,13 +196,9 @@ fn main() {
         out.push(baseline_row("chord", n, seed, Chord::for_size(n, seed), |s, p| s.join(p)));
         out.push(baseline_row("can (r=2)", n, seed, Can::new(seed), |s, p| s.join(p)));
         out.push(baseline_row("pastry", n, seed, Pastry::new(seed), |s, p| s.join(p)));
-        out.push(baseline_row(
-            "central-dir",
-            n,
-            seed,
-            CentralizedDirectory::new(0),
-            |s, p| s.join(p),
-        ));
+        out.push(baseline_row("central-dir", n, seed, CentralizedDirectory::new(0), |s, p| {
+            s.join(p)
+        }));
         out.push(baseline_row(
             "broadcast",
             n,

@@ -48,11 +48,9 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let results: Arc<Mutex<Vec<Option<T>>>> =
-        Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let results: Arc<Mutex<Vec<Option<T>>>> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers =
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {

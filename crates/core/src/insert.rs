@@ -104,10 +104,7 @@ impl TapestryNode {
         }
         let surrogate = ins.surrogate.expect("surrogate known");
         let prefix = self.me.id.prefix(shared_len);
-        ctx.send(
-            surrogate.idx,
-            Msg::StartMulticast { op, prefix, new_node: self.me, watch },
-        );
+        ctx.send(surrogate.idx, Msg::StartMulticast { op, prefix, new_node: self.me, watch });
     }
 
     /// A multicast recipient announced itself (`SendID`): it belongs to

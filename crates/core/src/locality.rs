@@ -88,8 +88,7 @@ mod tests {
             ..Default::default()
         };
         let mut n = node(cfg, 0, 0x4227_0000);
-        n.table_mut()
-            .add_if_closer(NodeRef::new(1, Id::from_u64(S, 0x5111_1111)), 100.0, 3);
+        n.table_mut().add_if_closer(NodeRef::new(1, Id::from_u64(S, 0x5111_1111)), 100.0, 3);
         // Only far neighbors: every level resolves through self entries and
         // the walk ends at the local root (None).
         let target = Id::from_u64(S, 0x5000_0000);

@@ -34,10 +34,7 @@ impl TapestryNode {
                 crate::routing_table::Hop::Root => (true, None),
                 crate::routing_table::Hop::Forward(nx, _) => (false, Some(nx)),
             };
-            let already = self
-                .store
-                .lookup(p.guid, ctx.now)
-                .any(|e| e.server.idx == p.server.idx);
+            let already = self.store.lookup(p.guid, ctx.now).any(|e| e.server.idx == p.server.idx);
             self.store.deposit(
                 p.guid,
                 PtrEntry { server: p.server, last_hop: Some(from.idx), expires, is_root },
@@ -85,11 +82,8 @@ impl TapestryNode {
         ctx: &mut Ctx<'_, Msg, Timer>,
         changed: NodeIdx,
     ) {
-        let ptrs: Vec<WirePtr> = self
-            .store
-            .iter()
-            .map(|(g, e)| WirePtr { guid: g, server: e.server })
-            .collect();
+        let ptrs: Vec<WirePtr> =
+            self.store.iter().map(|(g, e)| WirePtr { guid: g, server: e.server }).collect();
         let me = self.me.idx;
         for p in ptrs {
             let level = self.me.id.shared_prefix_len(&p.guid.id());
@@ -97,10 +91,7 @@ impl TapestryNode {
                 self.route_next(&p.guid.id(), level, Some(changed), false).0
             {
                 ctx.count("optimize.republished", 1);
-                ctx.send(
-                    next.idx,
-                    Msg::OptimizePtr { ptr: p, changed, level: lvl, sender: me },
-                );
+                ctx.send(next.idx, Msg::OptimizePtr { ptr: p, changed, level: lvl, sender: me });
             }
         }
     }

@@ -387,7 +387,7 @@ mod tests {
 
     #[test]
     fn routed_msg_is_cloneable_for_forwarding() {
-        use tapestry_id::{IdSpace, Id};
+        use tapestry_id::{Id, IdSpace};
         let m = RoutedMsg {
             kind: RoutedKind::FindSurrogate {
                 reply_to: NodeRef::new(0, Id::from_u64(IdSpace::base16(), 0)),

@@ -92,10 +92,7 @@ impl TapestryNode {
         self.mcast.insert(op, McastSession { parent, pending, new_node });
         for (p, r) in children {
             ctx.count("multicast.edges", 1);
-            ctx.send(
-                r.idx,
-                Msg::Multicast { op, prefix: p, new_node, hole, watch: watch.clone() },
-            );
+            ctx.send(r.idx, Msg::Multicast { op, prefix: p, new_node, hole, watch: watch.clone() });
         }
         if pending == 0 {
             self.complete_session(ctx, op);
@@ -149,12 +146,8 @@ impl TapestryNode {
             // new node.
             let mut served = false;
             if lvl <= shared {
-                let refs: Vec<NodeRef> = self
-                    .table
-                    .slot(lvl, dig)
-                    .iter()
-                    .filter(|r| r.idx != new_node.idx)
-                    .collect();
+                let refs: Vec<NodeRef> =
+                    self.table.slot(lvl, dig).iter().filter(|r| r.idx != new_node.idx).collect();
                 if !refs.is_empty() {
                     found.extend(refs);
                     served = true;

@@ -63,10 +63,7 @@ impl NeighborSet {
     /// on every routing hop.
     #[inline]
     pub fn primary(&self, exclude: Option<NodeIdx>) -> Option<NodeRef> {
-        self.entries
-            .iter()
-            .find(|e| Some(e.nref.idx) != exclude)
-            .map(|e| e.nref)
+        self.entries.iter().find(|e| Some(e.nref.idx) != exclude).map(|e| e.nref)
     }
 
     /// All neighbors, closest first.

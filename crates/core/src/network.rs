@@ -73,6 +73,11 @@ pub struct TapestryNetwork {
     /// Live members, kept sorted ascending (set semantics; a sorted `Vec`
     /// so hot paths can sample and iterate without allocating).
     members: Vec<NodeIdx>,
+    /// Worker threads for the bootstrap / invariant-sweep fan-out and the
+    /// engine's same-instant drain. Any value yields bit-identical
+    /// behaviour (the fan-outs collect into deterministically ordered
+    /// buffers applied sequentially); it only trades wall-clock time.
+    threads: usize,
     rng: StdRng,
     seed: u64,
     /// Per-op completion callback, invoked once for every locate result
@@ -92,14 +97,49 @@ pub type LocateHook = Box<dyn FnMut(&LocateResult) + Send>;
 /// fills are produced and applied one level at a time).
 type SlotFill = (NodeIdx, u8, Vec<(NodeIdx, f64)>);
 
+/// Fan a read-only per-item computation out over `threads` contiguous
+/// chunks of `items` on scoped workers, concatenating chunk results in
+/// chunk order — the output is identical to `f(items)` run sequentially.
+/// Every parallel sweep in this module (bootstrap slot queries, Property
+/// 1/2 scans) routes through this one helper so the deterministic
+/// collection-order rule lives in exactly one place. Runs inline below 2
+/// threads or 2 items.
+fn fan_out_chunks<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        return f(items);
+    }
+    let chunk = items.len().div_ceil(threads).max(1);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items.chunks(chunk).map(|ch| s.spawn(|| f(ch))).collect();
+        handles.into_iter().flat_map(|h| h.join().expect("chunk fan-out worker")).collect()
+    })
+}
+
 impl TapestryNetwork {
     /// Statically build a fully populated network: every point of the
     /// metric space becomes a node and all routing tables are constructed
     /// from global knowledge (the PRR preprocessing step the paper's
     /// dynamic algorithms replace).
     pub fn build(cfg: TapestryConfig, space: Box<dyn MetricSpace>, seed: u64) -> Self {
+        Self::build_threaded(cfg, space, seed, 1)
+    }
+
+    /// [`TapestryNetwork::build`] with `threads` bootstrap workers. The
+    /// resulting tables are bit-identical for every thread count.
+    pub fn build_threaded(
+        cfg: TapestryConfig,
+        space: Box<dyn MetricSpace>,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
         let n = space.len();
         let mut net = Self::empty(cfg, space, seed);
+        net.set_threads(threads);
         let all: Vec<NodeIdx> = (0..n).collect();
         net.static_populate(&all);
         net
@@ -113,11 +153,37 @@ impl TapestryNetwork {
         seed: u64,
         n0: usize,
     ) -> Self {
+        Self::bootstrap_threaded(cfg, space, seed, n0, 1)
+    }
+
+    /// [`TapestryNetwork::bootstrap`] with `threads` bootstrap workers.
+    /// The resulting tables are bit-identical for every thread count.
+    pub fn bootstrap_threaded(
+        cfg: TapestryConfig,
+        space: Box<dyn MetricSpace>,
+        seed: u64,
+        n0: usize,
+        threads: usize,
+    ) -> Self {
         assert!(n0 >= 1, "need at least one bootstrap node");
         let mut net = Self::empty(cfg, space, seed);
+        net.set_threads(threads);
         let initial: Vec<NodeIdx> = (0..n0.min(net.ids.len())).collect();
         net.static_populate(&initial);
         net
+    }
+
+    /// Set the worker-thread count for bootstrap fan-out, invariant
+    /// sweeps and the engine's same-instant drain (clamped to ≥ 1).
+    /// Behaviour stays bit-identical at every setting.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+        self.engine.set_threads(self.threads);
+    }
+
+    /// Worker threads in force.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     fn empty(cfg: TapestryConfig, space: Box<dyn MetricSpace>, seed: u64) -> Self {
@@ -138,6 +204,7 @@ impl TapestryNetwork {
             cfg,
             ids,
             members: Vec::new(),
+            threads: 1,
             rng,
             seed,
             locate_hook: None,
@@ -197,10 +264,21 @@ impl TapestryNetwork {
     /// prefix-group query, so grouping members by `prefix_key` and
     /// querying one coordinate index per group reproduces the incremental
     /// sweep's tables — including its `(distance, index)` tie-breaks.
+    ///
+    /// The per-(prefix, digit) group queries within one level have no
+    /// data dependency on each other (the paper's level-by-level
+    /// construction), so index builds and slot queries fan out across
+    /// `threads` scoped workers. Determinism is pinned by construction:
+    /// each worker owns a contiguous chunk of the *sorted* member list,
+    /// chunk results are concatenated in chunk order (= the sequential
+    /// query order), and the collected fills are applied to the tables
+    /// sequentially — so the fill order, and therefore every slot's
+    /// contents, is byte-identical at any thread count.
     fn populate_tables(&mut self, members: &[NodeIdx]) {
         let levels = self.cfg.levels();
         let base = self.cfg.base();
         let cap = self.cfg.redundancy;
+        let threads = self.threads.max(1);
         let mut sorted: Vec<NodeIdx> = members.to_vec();
         sorted.sort_unstable();
         for l in 0..levels {
@@ -209,26 +287,40 @@ impl TapestryNetwork {
                 groups.entry(self.ids[m].prefix_key(l + 1)).or_default().push(m);
             }
             let metric = self.engine.metric();
+            // Index builds are independent per group; distribute them
+            // through the same ordered fan-out as every other sweep (the
+            // order is even immaterial here — results land in a map —
+            // but one helper keeps one collection contract).
+            let entries: Vec<(u128, Vec<NodeIdx>)> = groups.into_iter().collect();
             let indexes: HashMap<u128, Box<dyn NearestIndex + '_>> =
-                groups.into_iter().map(|(k, v)| (k, metric.build_index(v))).collect();
-            let mut fills: Vec<SlotFill> = Vec::new();
-            for &a in &sorted {
-                let aid = self.ids[a];
-                let own = aid.digit(l);
-                let a_key = aid.prefix_key(l);
-                for j in 0..base as u8 {
-                    let want = cap - usize::from(j == own);
-                    if want == 0 {
-                        continue;
-                    }
-                    if let Some(ix) = indexes.get(&(a_key * base as u128 + j as u128)) {
-                        let list = ix.closest_k(a, want);
-                        if !list.is_empty() {
-                            fills.push((a, j, list));
+                fan_out_chunks(threads, &entries, |ch| {
+                    ch.iter().map(|(k, v)| (*k, metric.build_index(v.clone()))).collect()
+                })
+                .into_iter()
+                .collect();
+            let ids = &self.ids;
+            let query_chunk = |ch: &[NodeIdx]| {
+                let mut out: Vec<SlotFill> = Vec::new();
+                for &a in ch {
+                    let aid = ids[a];
+                    let own = aid.digit(l);
+                    let a_key = aid.prefix_key(l);
+                    for j in 0..base as u8 {
+                        let want = cap - usize::from(j == own);
+                        if want == 0 {
+                            continue;
+                        }
+                        if let Some(ix) = indexes.get(&(a_key * base as u128 + j as u128)) {
+                            let list = ix.closest_k(a, want);
+                            if !list.is_empty() {
+                                out.push((a, j, list));
+                            }
                         }
                     }
                 }
-            }
+                out
+            };
+            let fills: Vec<SlotFill> = fan_out_chunks(threads, &sorted, query_chunk);
             drop(indexes);
             for (a, j, list) in fills {
                 let node = self.engine.node_mut(a).expect("just added");
@@ -262,14 +354,30 @@ impl TapestryNetwork {
             let got = self.engine.node(a).expect("added").table();
             for l in 0..self.cfg.levels() {
                 for j in 0..self.cfg.base() as u8 {
-                    let gs: Vec<(NodeIdx, u64)> =
-                        got.slot(l, j).iter_with_dist().map(|(r, d)| (r.idx, d.to_bits())).collect();
-                    let ws: Vec<(NodeIdx, u64)> =
-                        want.slot(l, j).iter_with_dist().map(|(r, d)| (r.idx, d.to_bits())).collect();
+                    let gs: Vec<(NodeIdx, u64)> = got
+                        .slot(l, j)
+                        .iter_with_dist()
+                        .map(|(r, d)| (r.idx, d.to_bits()))
+                        .collect();
+                    let ws: Vec<(NodeIdx, u64)> = want
+                        .slot(l, j)
+                        .iter_with_dist()
+                        .map(|(r, d)| (r.idx, d.to_bits()))
+                        .collect();
                     assert_eq!(gs, ws, "static table mismatch at node {a} slot ({l},{j})");
                 }
             }
         }
+    }
+
+    /// Fan a read-only per-member computation out over the live member
+    /// list (see [`fan_out_chunks`] for the determinism contract).
+    fn sweep_members<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&[NodeIdx]) -> Vec<R> + Sync,
+    {
+        fan_out_chunks(self.threads, &self.members, f)
     }
 
     // ------------------------------ accessors ------------------------------
@@ -342,13 +450,16 @@ impl TapestryNetwork {
     }
 
     /// Drain all scheduled events (bounded by `max_events_per_op`).
+    /// With `threads > 1` same-instant bursts (probe rounds, optimize
+    /// rounds, catalog publishes) fan out across workers; the event trace
+    /// is bit-identical either way.
     pub fn run_to_idle(&mut self) -> u64 {
-        self.engine.run_until_idle(self.max_events_per_op)
+        self.engine.run_until_idle_threaded(self.max_events_per_op)
     }
 
     /// Advance simulated time to `deadline`, processing due events.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
-        self.engine.run_until(deadline)
+        self.engine.run_until_threaded(deadline)
     }
 
     // --------------------------- application API ---------------------------
@@ -381,11 +492,8 @@ impl TapestryNetwork {
     /// Collect finished locate results queued at `origin`. Each result
     /// passes through the completion hook (if set) exactly once.
     pub fn take_results(&mut self, origin: NodeIdx) -> Vec<LocateResult> {
-        let results = self
-            .engine
-            .node_mut(origin)
-            .map(|n| n.take_locate_results())
-            .unwrap_or_default();
+        let results =
+            self.engine.node_mut(origin).map(|n| n.take_locate_results()).unwrap_or_default();
         if let Some(hook) = self.locate_hook.as_mut() {
             for r in &results {
                 hook(r);
@@ -491,10 +599,7 @@ impl TapestryNetwork {
     /// After draining, account a dynamically inserted node as a member if
     /// its insertion completed.
     pub fn finish_insert_bookkeeping(&mut self, idx: NodeIdx) -> bool {
-        let ok = self
-            .engine
-            .node(idx)
-            .is_some_and(|n| n.status() == NodeStatus::Active);
+        let ok = self.engine.node(idx).is_some_and(|n| n.status() == NodeStatus::Active);
         if ok {
             self.insert_member(idx);
         }
@@ -659,22 +764,30 @@ impl TapestryNetwork {
             for &b in &self.members {
                 *counts.entry(self.ids[b].prefix_key(l + 1)).or_insert(0) += 1;
             }
-            for &a in &self.members {
-                let Some(node) = self.engine.node(a) else { continue };
-                let aid = self.ids[a];
-                let own = aid.digit(l);
-                let a_key = aid.prefix_key(l);
-                for j in 0..base as u8 {
-                    if j == own {
-                        continue;
-                    }
-                    if node.table().slot(l, j).is_empty()
-                        && counts.contains_key(&(a_key * base as u128 + j as u128))
-                    {
-                        bad.push((a, l, j));
+            // The per-member slot scan is read-only and independent per
+            // member: fan out over contiguous chunks, concatenate in
+            // chunk order (the final sort+dedup canonicalizes anyway).
+            let (engine, ids) = (&self.engine, &self.ids);
+            bad.extend(self.sweep_members(move |ch| {
+                let mut out = Vec::new();
+                for &a in ch {
+                    let Some(node) = engine.node(a) else { continue };
+                    let aid = ids[a];
+                    let own = aid.digit(l);
+                    let a_key = aid.prefix_key(l);
+                    for j in 0..base as u8 {
+                        if j == own {
+                            continue;
+                        }
+                        if node.table().slot(l, j).is_empty()
+                            && counts.contains_key(&(a_key * base as u128 + j as u128))
+                        {
+                            out.push((a, l, j));
+                        }
                     }
                 }
-            }
+                out
+            }));
         }
         bad.sort_unstable();
         bad.dedup();
@@ -706,30 +819,40 @@ impl TapestryNetwork {
             }
             let indexes: HashMap<u128, Box<dyn NearestIndex + '_>> =
                 groups.into_iter().map(|(k, v)| (k, metric.build_index(v))).collect();
-            for &a in &self.members {
-                let Some(node) = self.engine.node(a) else { continue };
-                let aid = self.ids[a];
-                let own = aid.digit(l);
-                let a_key = aid.prefix_key(l);
-                for j in 0..base as u8 {
-                    if j == own {
-                        continue; // the owner's slot; never counted
-                    }
-                    let slot = node.table().slot(l, j);
-                    let Some(primary) = slot.primary(None) else { continue };
-                    if primary.idx == a {
-                        continue; // self entry
-                    }
-                    let Some(ix) = indexes.get(&(a_key * base as u128 + j as u128)) else {
-                        continue;
-                    };
-                    let Some((_, db)) = ix.nearest(a) else { continue };
-                    total += 1;
-                    let dp = metric.distance(a, primary.idx);
-                    if dp <= db + 1e-9 {
-                        optimal += 1;
+            // Independent read-only per-member queries: fan out, then sum
+            // the per-chunk tallies (integer sums are order-free).
+            let (engine, ids, indexes) = (&self.engine, &self.ids, &indexes);
+            for (o, t) in self.sweep_members(move |ch| {
+                let (mut opt, mut tot) = (0usize, 0usize);
+                for &a in ch {
+                    let Some(node) = engine.node(a) else { continue };
+                    let aid = ids[a];
+                    let own = aid.digit(l);
+                    let a_key = aid.prefix_key(l);
+                    for j in 0..base as u8 {
+                        if j == own {
+                            continue; // the owner's slot; never counted
+                        }
+                        let slot = node.table().slot(l, j);
+                        let Some(primary) = slot.primary(None) else { continue };
+                        if primary.idx == a {
+                            continue; // self entry
+                        }
+                        let Some(ix) = indexes.get(&(a_key * base as u128 + j as u128)) else {
+                            continue;
+                        };
+                        let Some((_, db)) = ix.nearest(a) else { continue };
+                        tot += 1;
+                        let dp = metric.distance(a, primary.idx);
+                        if dp <= db + 1e-9 {
+                            opt += 1;
+                        }
                     }
                 }
+                vec![(opt, tot)]
+            }) {
+                optimal += o;
+                total += t;
             }
         }
         #[cfg(debug_assertions)]

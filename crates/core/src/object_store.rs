@@ -76,11 +76,7 @@ impl ObjectStore {
 
     /// Unexpired pointers for `guid` at time `now`.
     pub fn lookup(&self, guid: Guid, now: SimTime) -> impl Iterator<Item = &PtrEntry> + '_ {
-        self.ptrs
-            .get(&guid)
-            .into_iter()
-            .flatten()
-            .filter(move |e| e.expires > now)
+        self.ptrs.get(&guid).into_iter().flatten().filter(move |e| e.expires > now)
     }
 
     /// Remove the pointer for one (guid, server) pair.

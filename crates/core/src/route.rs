@@ -29,10 +29,8 @@ impl TapestryNode {
     /// publication and every soft-state republish).
     pub(crate) fn publish_now(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, guid: Guid) {
         let expires = ctx.now + self.cfg.pointer_ttl;
-        self.store.deposit(
-            guid,
-            PtrEntry { server: self.me, last_hop: None, expires, is_root: false },
-        );
+        self.store
+            .deposit(guid, PtrEntry { server: self.me, last_hop: None, expires, is_root: false });
         for i in 0..self.cfg.roots_per_object {
             let m = RoutedMsg {
                 kind: RoutedKind::Publish { guid, server: self.me },
@@ -148,10 +146,7 @@ impl TapestryNode {
             RoutedKind::Publish { guid, server } => {
                 let expires = ctx.now + self.cfg.pointer_ttl;
                 let is_root = matches!(step, Step::Terminal);
-                self.store.deposit(
-                    guid,
-                    PtrEntry { server, last_hop: prev, expires, is_root },
-                );
+                self.store.deposit(guid, PtrEntry { server, last_hop: prev, expires, is_root });
                 match step {
                     Step::Forward(p, lvl, ph) => self.forward(ctx, m, p, lvl, ph),
                     Step::LocalRoot | Step::Terminal => {

@@ -160,12 +160,8 @@ impl RoutingTable {
     /// Every distinct node referenced by the table (excluding the owner),
     /// in deterministic order.
     pub fn all_refs(&self) -> Vec<NodeRef> {
-        let mut v: Vec<NodeRef> = self
-            .slots
-            .iter()
-            .flat_map(|s| s.iter())
-            .filter(|r| r.idx != self.owner.idx)
-            .collect();
+        let mut v: Vec<NodeRef> =
+            self.slots.iter().flat_map(|s| s.iter()).filter(|r| r.idx != self.owner.idx).collect();
         v.sort();
         v.dedup();
         v
@@ -186,10 +182,7 @@ impl RoutingTable {
     /// Total number of neighbor entries (the paper's space measure),
     /// excluding self entries.
     pub fn entry_count(&self) -> usize {
-        self.slots
-            .iter()
-            .map(|s| s.iter().filter(|r| r.idx != self.owner.idx).count())
-            .sum()
+        self.slots.iter().map(|s| s.iter().filter(|r| r.idx != self.owner.idx).count()).sum()
     }
 
     /// Slots at `level` that are empty — candidate holes for the watch
@@ -267,9 +260,7 @@ impl RoutingTable {
                         // to the numerically higher digit.
                         past_hole = true;
                         (0..self.base as u8)
-                            .filter_map(|j| {
-                                self.slot(level, j).primary(exclude).map(|p| (j, p))
-                            })
+                            .filter_map(|j| self.slot(level, j).primary(exclude).map(|p| (j, p)))
                             .max_by_key(|&(j, _)| (digit_match_bits(want, j, self.base), j))
                     }
                 }
@@ -291,8 +282,7 @@ impl RoutingTable {
         if p >= self.levels {
             return true;
         }
-        (0..self.base as u8)
-            .all(|j| self.slot(p, j).is_empty() == peer.slot(p, j).is_empty())
+        (0..self.base as u8).all(|j| self.slot(p, j).is_empty() == peer.slot(p, j).is_empty())
     }
 
     /// The prefix naming slot `(level, digit)`: `owner[0..level] · digit`.

@@ -67,7 +67,8 @@ pub fn encode_routed(m: &RoutedMsg) -> Bytes {
     buf.put_u8(WIRE_VERSION);
     put_id(&mut buf, &m.target);
     buf.put_u8(m.level as u8);
-    let flags = u8::from(m.past_hole) | (u8::from(m.local_branch) << 1)
+    let flags = u8::from(m.past_hole)
+        | (u8::from(m.local_branch) << 1)
         | (u8::from(m.exclude.is_some()) << 2);
     buf.put_u8(flags);
     if let Some(e) = m.exclude {
@@ -268,10 +269,7 @@ mod tests {
         let full = encode_routed(&m);
         for cut in [0usize, 1, 5, 12, full.len() - 1] {
             let sliced = full.slice(0..cut);
-            assert!(
-                decode_routed(sliced).is_err(),
-                "cut at {cut} should not decode"
-            );
+            assert!(decode_routed(sliced).is_err(), "cut at {cut} should not decode");
         }
     }
 

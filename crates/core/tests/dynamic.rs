@@ -198,18 +198,14 @@ fn voluntary_leave_preserves_availability_fig12() {
         guids.push((members[(i * 3) % members.len()], guid));
     }
     // A node that is *not* a publisher leaves voluntarily.
-    let publishers: std::collections::BTreeSet<usize> =
-        guids.iter().map(|&(s, _)| s).collect();
+    let publishers: std::collections::BTreeSet<usize> = guids.iter().map(|&(s, _)| s).collect();
     let leaver = members.iter().copied().find(|m| !publishers.contains(m)).unwrap();
     assert!(net.leave(leaver), "leave protocol completes");
     assert_eq!(net.len(), 47);
     for &(server, guid) in &guids {
         let origin = net.random_member();
         let r = net.locate(origin, guid).expect("completes");
-        assert!(
-            r.server.is_some(),
-            "object {guid} (server {server}) lost after voluntary leave"
-        );
+        assert!(r.server.is_some(), "object {guid} (server {server}) lost after voluntary leave");
     }
     assert!(net.check_property1().is_empty(), "links repaired after leave");
 }
@@ -266,8 +262,5 @@ fn insertion_cost_scales_polylogarithmically() {
     };
     let small = cost(32, 31);
     let large = cost(256, 31);
-    assert!(
-        large / small < 8.0 / 2.0,
-        "insert cost grew too fast: {small} → {large} (8× nodes)"
-    );
+    assert!(large / small < 8.0 / 2.0, "insert cost grew too fast: {small} → {large} (8× nodes)");
 }

@@ -117,13 +117,8 @@ fn republishing_the_same_object_is_idempotent() {
     }
     let root = net.root_of(guid, 0);
     let now = net.engine().now();
-    let entries = net
-        .node(root)
-        .unwrap()
-        .store()
-        .lookup(guid, now)
-        .filter(|e| e.server.idx == 9)
-        .count();
+    let entries =
+        net.node(root).unwrap().store().lookup(guid, now).filter(|e| e.server.idx == 9).count();
     assert_eq!(entries, 1, "refresh, not duplicate");
     assert!(net.check_property4().is_empty());
 }
@@ -140,13 +135,8 @@ fn same_object_from_many_servers_keeps_all_pointers() {
     }
     let root = net.root_of(guid, 0);
     let now = net.engine().now();
-    let held: std::collections::BTreeSet<usize> = net
-        .node(root)
-        .unwrap()
-        .store()
-        .lookup(guid, now)
-        .map(|e| e.server.idx)
-        .collect();
+    let held: std::collections::BTreeSet<usize> =
+        net.node(root).unwrap().store().lookup(guid, now).map(|e| e.server.idx).collect();
     for &s in &servers {
         assert!(held.contains(&s), "root missing replica pointer for {s}");
     }

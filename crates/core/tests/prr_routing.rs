@@ -73,10 +73,7 @@ fn prr_like_roots_favor_numerically_high_ids() {
             high += 1;
         }
     }
-    assert!(
-        high * 2 > trials,
-        "expected a high-ID skew, got {high}/{trials} above the median"
-    );
+    assert!(high * 2 > trials, "expected a high-ID skew, got {high}/{trials} above the median");
 }
 
 #[test]
@@ -128,8 +125,7 @@ fn schemes_agree_when_tables_are_full_at_top_level() {
     let seed = 47;
     let space1 = TorusSpace::random(96, 1000.0, seed);
     let space2 = TorusSpace::random(96, 1000.0, seed);
-    let mut native =
-        TapestryNetwork::build(TapestryConfig::default(), Box::new(space1), seed);
+    let mut native = TapestryNetwork::build(TapestryConfig::default(), Box::new(space1), seed);
     let prr = TapestryNetwork::build(prr_cfg(), Box::new(space2), seed);
     for _ in 0..10 {
         let guid = native.random_guid();

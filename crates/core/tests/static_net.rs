@@ -177,3 +177,48 @@ fn snapshot_space_is_logarithmic_per_node() {
         snap.max_table_entries
     );
 }
+
+/// The parallel bootstrap must produce tables bit-identical to the
+/// sequential one: every slot of every node, including entry order and
+/// exact distances, plus the invariant sweeps (which themselves fan out
+/// when threads > 1). This pins the deterministic-fill-order contract of
+/// the `std::thread::scope` fan-out in `populate_tables`.
+#[test]
+fn parallel_bootstrap_is_bit_identical_to_sequential() {
+    let n = 300;
+    let seed = 77;
+    let seq = net(n, seed);
+    for threads in [2, 4, 7] {
+        let space = TorusSpace::random(n, 1000.0, seed);
+        let par = TapestryNetwork::build_threaded(
+            TapestryConfig::default(),
+            Box::new(space),
+            seed,
+            threads,
+        );
+        assert_eq!(par.threads(), threads);
+        for i in 0..n {
+            let a = seq.node(i).expect("seq node");
+            let b = par.node(i).expect("par node");
+            for l in 0..seq.config().levels() {
+                for j in 0..seq.config().base() as u8 {
+                    let sa: Vec<(usize, u64)> = a
+                        .table()
+                        .slot(l, j)
+                        .iter_with_dist()
+                        .map(|(r, d)| (r.idx, d.to_bits()))
+                        .collect();
+                    let sb: Vec<(usize, u64)> = b
+                        .table()
+                        .slot(l, j)
+                        .iter_with_dist()
+                        .map(|(r, d)| (r.idx, d.to_bits()))
+                        .collect();
+                    assert_eq!(sa, sb, "threads={threads} node {i} slot ({l},{j}) diverged");
+                }
+            }
+        }
+        assert_eq!(seq.check_property1(), par.check_property1(), "threads={threads}");
+        assert_eq!(seq.check_property2(), par.check_property2(), "threads={threads}");
+    }
+}

@@ -59,7 +59,8 @@ impl Prefix {
     /// Does `id` start with this prefix?
     pub fn matches(&self, id: &Id) -> bool {
         debug_assert_eq!(self.base, id.base());
-        self.len as usize <= id.len() && id.digits()[..self.len as usize] == self.digits[..self.len as usize]
+        self.len as usize <= id.len()
+            && id.digits()[..self.len as usize] == self.digits[..self.len as usize]
     }
 
     /// The one-digit extension `α · j` of this prefix (the paper's
@@ -89,7 +90,8 @@ impl Prefix {
 
     /// Is `other` an extension of (or equal to) `self`?
     pub fn contains(&self, other: &Prefix) -> bool {
-        other.len >= self.len && other.digits[..self.len as usize] == self.digits[..self.len as usize]
+        other.len >= self.len
+            && other.digits[..self.len as usize] == self.digits[..self.len as usize]
     }
 }
 

@@ -26,7 +26,11 @@ use std::cmp::Ordering;
 /// itself is excluded from `nearest`/`closest_k` (matching
 /// [`crate::nearest`] / [`crate::closest_k`]) but counted by `ball_size`
 /// when it is a member (matching [`MetricSpace::ball_size`]).
-pub trait NearestIndex {
+///
+/// Indexes are immutable snapshots, so they are `Send + Sync` by
+/// construction — the parallel bootstrap shares one index per
+/// `(prefix, digit)` group across `std::thread::scope` workers.
+pub trait NearestIndex: Send + Sync {
     /// The indexed members, deduplicated and sorted ascending.
     fn members(&self) -> &[PointIdx];
 
@@ -41,6 +45,18 @@ pub trait NearestIndex {
     /// Number of members within distance `r` of `from` (the paper's
     /// `|B_A(r)|` restricted to the member set).
     fn ball_size(&self, from: PointIdx, r: f64) -> usize;
+
+    /// The nearest member treating an indexed query point as its own
+    /// nearest (distance 0) — the "representative" query shape, where
+    /// `from` may itself belong to the set `nearest` would exclude it
+    /// from. `None` only for an empty index.
+    fn nearest_or_self(&self, from: PointIdx) -> Option<PointIdx> {
+        if self.members().binary_search(&from).is_ok() {
+            Some(from)
+        } else {
+            self.nearest(from).map(|(p, _)| p)
+        }
+    }
 }
 
 /// Lexicographic order on `(distance, index)` — the tie-break rule every
@@ -106,7 +122,8 @@ fn debug_cross_check<S: MetricSpace + ?Sized>(
     let want = brute_closest_k(space, from, members, k);
     let got_idx: Vec<PointIdx> = got.iter().map(|&(p, _)| p).collect();
     debug_assert_eq!(
-        got_idx, want,
+        got_idx,
+        want,
         "index closest_k({from}, {k}) diverged from brute force over {} members",
         members.len()
     );
@@ -245,7 +262,8 @@ impl<'a, S: Planar + ?Sized> PlanarIndex<'a, S> {
         let cell_w = w / nx as f64;
         let cell_h = h / ny as f64;
         let mut cells = vec![Vec::new(); nx * ny];
-        let mut idx = PlanarIndex { space, members, nx, ny, cell_w, cell_h, ox, oy, wrap, cells: Vec::new() };
+        let mut idx =
+            PlanarIndex { space, members, nx, ny, cell_w, cell_h, ox, oy, wrap, cells: Vec::new() };
         for (slot, &p) in idx.members.iter().enumerate() {
             let (cx, cy) = idx.cell_of(space.xy(p));
             cells[cy * idx.nx + cx].push(slot as u32);
@@ -492,9 +510,7 @@ impl NearestIndex for RingIndex<'_> {
             let count_range = |lo: f64, hi: f64| {
                 let a = self.pos.partition_point(|&x| x < lo);
                 let b = self.pos.partition_point(|&x| x <= hi);
-                (a..b)
-                    .filter(|&i| self.space.distance(from, self.members_by_pos[i]) <= r)
-                    .count()
+                (a..b).filter(|&i| self.space.distance(from, self.members_by_pos[i]) <= r).count()
             };
             let (lo, hi) = (p - r - slack, p + r + slack);
             let mut n = count_range(lo.max(0.0), hi.min(c));

@@ -70,16 +70,9 @@ pub fn nearest<S: MetricSpace + ?Sized>(
     from: PointIdx,
     candidates: &[PointIdx],
 ) -> Option<PointIdx> {
-    candidates
-        .iter()
-        .copied()
-        .filter(|&c| c != from)
-        .min_by(|&a, &b| {
-            space
-                .distance(from, a)
-                .partial_cmp(&space.distance(from, b))
-                .expect("distances are finite")
-        })
+    candidates.iter().copied().filter(|&c| c != from).min_by(|&a, &b| {
+        space.distance(from, a).partial_cmp(&space.distance(from, b)).expect("distances are finite")
+    })
 }
 
 /// The `k` members of `candidates` closest to `from` (excluding `from`),
@@ -92,10 +85,7 @@ pub fn closest_k<S: MetricSpace + ?Sized>(
 ) -> Vec<PointIdx> {
     let mut v: Vec<PointIdx> = candidates.iter().copied().filter(|&c| c != from).collect();
     v.sort_by(|&a, &b| {
-        space
-            .distance(from, a)
-            .partial_cmp(&space.distance(from, b))
-            .expect("distances are finite")
+        space.distance(from, a).partial_cmp(&space.distance(from, b)).expect("distances are finite")
     });
     v.dedup();
     v.truncate(k);
@@ -107,12 +97,7 @@ pub fn closest_k<S: MetricSpace + ?Sized>(
 pub fn diameter_upper_bound<S: MetricSpace + ?Sized>(space: &S, members: &[PointIdx]) -> f64 {
     match members.first() {
         None => 0.0,
-        Some(&pivot) => {
-            2.0 * members
-                .iter()
-                .map(|&m| space.distance(pivot, m))
-                .fold(0.0, f64::max)
-        }
+        Some(&pivot) => 2.0 * members.iter().map(|&m| space.distance(pivot, m)).fold(0.0, f64::max),
     }
 }
 

@@ -25,9 +25,7 @@ impl TorusSpace {
     pub fn random(n: usize, side: f64, seed: u64) -> Self {
         assert!(side > 0.0);
         let mut rng = StdRng::seed_from_u64(seed);
-        let pts = (0..n)
-            .map(|_| (rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
-            .collect();
+        let pts = (0..n).map(|_| (rng.gen_range(0.0..side), rng.gen_range(0.0..side))).collect();
         TorusSpace { pts, side }
     }
 

@@ -30,7 +30,12 @@ impl TransitStubSpace {
     /// square; stub centres lie within `800` of their transit centre;
     /// nodes lie within the stub radius (30) of their stub centre —
     /// a ≥ 10× intra/inter gap.
-    pub fn new(n_transit: usize, stubs_per_transit: usize, nodes_per_stub: usize, seed: u64) -> Self {
+    pub fn new(
+        n_transit: usize,
+        stubs_per_transit: usize,
+        nodes_per_stub: usize,
+        seed: u64,
+    ) -> Self {
         assert!(n_transit > 0 && stubs_per_transit > 0 && nodes_per_stub > 0);
         let mut rng = StdRng::seed_from_u64(seed);
         let side = 10_000.0;
@@ -151,7 +156,10 @@ mod tests {
             }
         }
         cross.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert!(cross[cross.len() / 2] > 5.0 * t, "median inter-stub distance should dwarf threshold");
+        assert!(
+            cross[cross.len() / 2] > 5.0 * t,
+            "median inter-stub distance should dwarf threshold"
+        );
     }
 
     proptest! {

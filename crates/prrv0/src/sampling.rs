@@ -102,8 +102,8 @@ mod tests {
         let sets = sample_sets(&members, params, 4);
         // E|S_{i,j}| = 2^i; check the middle level within generous bounds.
         let i = 6;
-        let avg: f64 = (0..params.cols).map(|j| sets[i][j].len() as f64).sum::<f64>()
-            / params.cols as f64;
+        let avg: f64 =
+            (0..params.cols).map(|j| sets[i][j].len() as f64).sum::<f64>() / params.cols as f64;
         assert!(avg > 32.0 && avg < 128.0, "E|S_6| = 64, got {avg}");
     }
 

@@ -34,27 +34,36 @@ pub struct PrrV0 {
 impl PrrV0 {
     /// Build the structure for `members` of `space` with `c` repetition
     /// factor (the paper's `c·log n` columns).
+    ///
+    /// Representative selection ("closest member of `S_{i,j}`") goes
+    /// through one [`tapestry_metric::NearestIndex`] per sample set
+    /// instead of a per-member brute scan — `O(sets · (|S| + n))` instead
+    /// of `O(n · Σ|S|)`, which is what lets PRR v.0 join the scale runs.
+    /// A member *inside* its sample set is its own representative at
+    /// distance 0 ([`tapestry_metric::NearestIndex::nearest_or_self`]).
     pub fn build(space: Box<dyn MetricSpace>, members: Vec<PointIdx>, c: usize, seed: u64) -> Self {
         assert!(!members.is_empty());
         let params = SamplingParams::for_n(members.len(), c);
         let sets = sample_sets(&members, params, seed);
-        let mut rep = Vec::with_capacity(members.len());
-        for &m in &members {
-            let mut per_level = Vec::with_capacity(params.levels + 1);
-            for level_sets in sets.iter() {
-                let mut per_col = Vec::with_capacity(params.cols);
-                for set in level_sets {
-                    let closest = set.iter().copied().min_by(|&a, &b| {
-                        space.distance(m, a).partial_cmp(&space.distance(m, b)).unwrap()
-                    });
-                    per_col.push(closest);
+        let mut rep = vec![vec![vec![None; params.cols]; params.levels + 1]; members.len()];
+        for (i, level_sets) in sets.iter().enumerate() {
+            for (j, set) in level_sets.iter().enumerate() {
+                let ix = space.build_index(set.clone());
+                for (m_idx, &m) in members.iter().enumerate() {
+                    rep[m_idx][i][j] = ix.nearest_or_self(m);
                 }
-                per_level.push(per_col);
             }
-            rep.push(per_level);
         }
         let member_pos = members.iter().enumerate().map(|(i, &m)| (m, i)).collect();
-        PrrV0 { space, members, params, rep, member_pos, lists: HashMap::new(), list_sizes: HashMap::new() }
+        PrrV0 {
+            space,
+            members,
+            params,
+            rep,
+            member_pos,
+            lists: HashMap::new(),
+            list_sizes: HashMap::new(),
+        }
     }
 
     /// Number of member nodes.
@@ -117,7 +126,12 @@ impl PrrV0 {
             if let Some(server) = hit {
                 messages += 1;
                 distance += self.space.distance(origin, server);
-                return PrrV0Lookup { server: Some(server), levels_tried: tried, messages, distance };
+                return PrrV0Lookup {
+                    server: Some(server),
+                    levels_tried: tried,
+                    messages,
+                    distance,
+                };
             }
         }
         PrrV0Lookup { server: None, levels_tried: tried, messages, distance }
@@ -225,8 +239,8 @@ mod tests {
         }
         let (avg, _max) = s.space_per_node();
         let lg = 8.0; // log2 256
-        // reps: (levels+1)·cols = 9·16 = 144 = O(log² n); lists add O(1)
-        // amortized per object.
+                      // reps: (levels+1)·cols = 9·16 = 144 = O(log² n); lists add O(1)
+                      // amortized per object.
         assert!(avg < 3.0 * lg * lg + 50.0, "avg per-node space {avg} too large");
         assert!(avg >= 144.0, "representative pointers are always stored");
     }
@@ -248,6 +262,9 @@ mod tests {
             count += 1;
         }
         let avg = total_tried as f64 / count as f64;
-        assert!(avg < (s.params().levels + 1) as f64 * 0.9, "avg levels tried {avg} ≈ full descent");
+        assert!(
+            avg < (s.params().levels + 1) as f64 * 0.9,
+            "avg levels tried {avg} ≈ full descent"
+        );
     }
 }

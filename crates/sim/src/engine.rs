@@ -1,6 +1,5 @@
+use crate::shard::ShardedQueue;
 use crate::{SimStats, SimTime};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use tapestry_metric::MetricSpace;
 
 /// Index of a node. Node indices coincide with point indices of the
@@ -21,7 +20,12 @@ pub trait Actor {
     type Timer;
 
     /// Handle a message delivered from `from` (possibly [`EXTERNAL`]).
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, from: NodeIdx, msg: Self::Msg);
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        from: NodeIdx,
+        msg: Self::Msg,
+    );
 
     /// Handle an expired timer previously set through [`Ctx::set_timer`].
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, timer: Self::Timer);
@@ -88,28 +92,27 @@ enum Event<M, T> {
     Fire { node: NodeIdx, timer: T },
 }
 
-struct Scheduled<M, T> {
-    at: SimTime,
-    seq: u64,
-    ev: Event<M, T>,
+impl<M, T> Event<M, T> {
+    /// The node the event fires on — the queue's shard key.
+    fn target(&self) -> NodeIdx {
+        match *self {
+            Event::Deliver { to, .. } => to,
+            Event::Fire { node, .. } => node,
+        }
+    }
 }
 
-impl<M, T> PartialEq for Scheduled<M, T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M, T> Eq for Scheduled<M, T> {}
-impl<M, T> PartialOrd for Scheduled<M, T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M, T> Ord for Scheduled<M, T> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
+/// Node ranges per queue shard (the queue caps the shard count, so small
+/// populations collapse to a single heap with no merge overhead).
+const NODES_PER_SHARD: usize = 1024;
+/// Upper bound on queue shards regardless of population.
+const MAX_SHARDS: usize = 16;
+/// Minimum same-instant batch size worth fanning out to worker threads.
+/// Each fan-out spawns a fresh `thread::scope` (tens of microseconds),
+/// while a typical handler runs in about a microsecond — so only bulk
+/// bursts (probe/optimize rounds, catalog publishes, which inject one
+/// event per node) clear this bar; small coincidences stay sequential.
+const PARALLEL_BATCH_MIN: usize = 256;
 
 /// Wall-clock throughput report of one bounded engine run — the
 /// real-time measure scale benchmarks track (simulated time and costs
@@ -130,11 +133,17 @@ pub struct RunBudget {
 pub struct Engine<A: Actor> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled<A::Msg, A::Timer>>>,
+    /// Pending events, sharded by node range; pops follow the exact
+    /// `(at, seq)` total order of a single heap (see [`ShardedQueue`]).
+    queue: ShardedQueue<Event<A::Msg, A::Timer>>,
     actors: Vec<Option<A>>,
     metric: Box<dyn MetricSpace>,
     stats: SimStats,
     proc_delay: SimTime,
+    /// Worker threads for the same-instant parallel drain (1 = strictly
+    /// sequential). Any value produces bit-identical behaviour; this only
+    /// trades wall-clock time.
+    threads: usize,
     out_buf: Vec<Effect<A::Msg, A::Timer>>,
     /// Total events popped over the engine's lifetime (deliveries, timer
     /// fires, and drops alike) — the denominator of events/sec reporting.
@@ -159,20 +168,30 @@ impl<A: Actor> Engine<A> {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            // Pre-size the queue to the population: scenario drivers keep
-            // a few in-flight events per node, and growing a binary heap
-            // mid-run re-copies every pending event.
-            queue: BinaryHeap::with_capacity(n.max(64)),
+            queue: ShardedQueue::new(n, NODES_PER_SHARD, MAX_SHARDS),
             actors,
             metric,
             stats: SimStats::default(),
             proc_delay,
+            threads: 1,
             // Reused across every handler invocation (taken, drained,
             // put back) — the engine allocates no per-event buffers.
             out_buf: Vec::with_capacity(32),
             events_processed: 0,
             partition: None,
         }
+    }
+
+    /// Set the worker-thread count for the same-instant parallel drain.
+    /// Clamped to at least 1. Simulated behaviour is unaffected — every
+    /// thread count produces the same event trace, bit for bit.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Worker threads in force.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Current simulated time.
@@ -282,9 +301,14 @@ impl<A: Actor> Engine<A> {
         self.queue.len()
     }
 
+    /// Number of shards the event queue is split into.
+    pub fn queue_shards(&self) -> usize {
+        self.queue.shard_count()
+    }
+
     fn push(&mut self, at: SimTime, ev: Event<A::Msg, A::Timer>) {
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq: self.seq, ev }));
+        self.queue.push(at, self.seq, ev.target(), ev);
     }
 
     /// Total events processed since construction.
@@ -292,66 +316,108 @@ impl<A: Actor> Engine<A> {
         self.events_processed
     }
 
-    /// Process one event. Returns `false` when the queue is empty.
-    pub fn step(&mut self) -> bool {
-        let Some(Reverse(sch)) = self.queue.pop() else {
-            return false;
-        };
-        self.events_processed += 1;
-        debug_assert!(sch.at >= self.now, "time went backwards");
-        self.now = sch.at;
-        let (node, work) = match sch.ev {
+    /// Decode a popped event into `(target node, handler work)`,
+    /// accounting partition cuts. `None`: dropped at an active cut.
+    /// Shared by the sequential and batched drains so their drop
+    /// accounting cannot diverge.
+    fn decode(&mut self, ev: Event<A::Msg, A::Timer>) -> Option<NodeWork<A::Msg, A::Timer>> {
+        match ev {
             Event::Deliver { from, to, msg } => {
                 if let Some(groups) = &self.partition {
                     if from != EXTERNAL && groups[from] != groups[to] {
                         self.stats.partition_dropped += 1;
-                        return true;
+                        return None;
                     }
                 }
-                (to, Work::Msg(from, msg))
+                Some((to, Work::Msg(from, msg)))
             }
-            Event::Fire { node, timer } => (node, Work::Timer(timer)),
+            Event::Fire { node, timer } => Some((node, Work::Timer(timer))),
+        }
+    }
+
+    /// Take the live actor at `node`, accounting a dead-target drop.
+    /// `None`: the node has departed (message drops are counted, timers
+    /// on dead nodes are inert).
+    fn take_actor(&mut self, node: NodeIdx, work: &Work<A::Msg, A::Timer>) -> Option<A> {
+        let actor = self.actors.get_mut(node).and_then(Option::take);
+        if actor.is_none() {
+            if let Work::Msg(..) = work {
+                self.stats.dropped += 1;
+            }
+        }
+        actor
+    }
+
+    /// Invoke the handler for `work` on `actor`, with sends/timers and
+    /// stats routed into the given buffers (the sequential path passes
+    /// the engine's own; the batched path passes per-item scratch).
+    fn run_handler(
+        actor: &mut A,
+        now: SimTime,
+        me: NodeIdx,
+        metric: &dyn MetricSpace,
+        stats: &mut SimStats,
+        out: &mut Vec<Effect<A::Msg, A::Timer>>,
+        work: Work<A::Msg, A::Timer>,
+    ) {
+        let mut ctx = Ctx { now, me, metric, stats, out };
+        match work {
+            Work::Msg(from, msg) => actor.on_message(&mut ctx, from, msg),
+            Work::Timer(t) => {
+                ctx.stats.timers += 1;
+                actor.on_timer(&mut ctx, t);
+            }
+        }
+    }
+
+    /// Apply one buffered handler effect from `node`: account the send
+    /// and schedule the resulting event. Shared verbatim by the
+    /// sequential and batched drains — sequence assignment and the
+    /// `stats.distance` float accumulation happen here, in application
+    /// order, which is what keeps the two paths byte-identical.
+    fn apply_effect(&mut self, node: NodeIdx, eff: Effect<A::Msg, A::Timer>) {
+        match eff {
+            Effect::Send { to, msg } => {
+                let d = if to == node { 0.0 } else { self.metric.distance(node, to) };
+                self.stats.messages += 1;
+                self.stats.distance += d;
+                let at = self.now + self.proc_delay + SimTime::from_distance(d);
+                self.push(at, Event::Deliver { from: node, to, msg });
+            }
+            Effect::Timer { delay, timer } => {
+                let at = self.now + delay;
+                self.push(at, Event::Fire { node, timer });
+            }
+        }
+    }
+
+    /// Process one event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, _, _, ev)) = self.queue.pop() else {
+            return false;
         };
-        let Some(mut actor) = self.actors.get_mut(node).and_then(Option::take) else {
-            // Departed node: drop (timers on dead nodes are inert too).
-            match work {
-                Work::Msg(..) => self.stats.dropped += 1,
-                Work::Timer(_) => {}
-            }
+        self.events_processed += 1;
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        let Some((node, work)) = self.decode(ev) else {
+            return true;
+        };
+        let Some(mut actor) = self.take_actor(node, &work) else {
             return true;
         };
         let mut out = std::mem::take(&mut self.out_buf);
-        {
-            let mut ctx = Ctx {
-                now: self.now,
-                me: node,
-                metric: &*self.metric,
-                stats: &mut self.stats,
-                out: &mut out,
-            };
-            match work {
-                Work::Msg(from, msg) => actor.on_message(&mut ctx, from, msg),
-                Work::Timer(t) => {
-                    ctx.stats.timers += 1;
-                    actor.on_timer(&mut ctx, t);
-                }
-            }
-        }
+        Self::run_handler(
+            &mut actor,
+            self.now,
+            node,
+            &*self.metric,
+            &mut self.stats,
+            &mut out,
+            work,
+        );
         self.actors[node] = Some(actor);
         for eff in out.drain(..) {
-            match eff {
-                Effect::Send { to, msg } => {
-                    let d = if to == node { 0.0 } else { self.metric.distance(node, to) };
-                    self.stats.messages += 1;
-                    self.stats.distance += d;
-                    let at = self.now + self.proc_delay + SimTime::from_distance(d);
-                    self.push(at, Event::Deliver { from: node, to, msg });
-                }
-                Effect::Timer { delay, timer } => {
-                    let at = self.now + delay;
-                    self.push(at, Event::Fire { node, timer });
-                }
-            }
+            self.apply_effect(node, eff);
         }
         self.out_buf = out;
         true
@@ -369,12 +435,19 @@ impl<A: Actor> Engine<A> {
 
     /// Like [`Engine::run_until_idle`], but timed: returns how many
     /// events were processed, how long it took in wall-clock terms, and
-    /// the resulting events/sec — the throughput figure the `scale`
-    /// benchmark driver reports. Simulated behaviour is unaffected
-    /// (timing is observation only).
-    pub fn run_budget(&mut self, max_events: u64) -> RunBudget {
+    /// the resulting events/sec — the engine-level throughput figure
+    /// (workload's `RunTiming` reports the whole-drive analogue).
+    /// Honors the configured thread count via the threaded drain;
+    /// simulated behaviour is unaffected (timing is observation only,
+    /// and the threaded drain is byte-identical by contract).
+    pub fn run_budget(&mut self, max_events: u64) -> RunBudget
+    where
+        A: Send,
+        A::Msg: Send,
+        A::Timer: Send,
+    {
         let start = std::time::Instant::now();
-        let events = self.run_until_idle(max_events);
+        let events = self.run_until_idle_threaded(max_events);
         let wall_secs = start.elapsed().as_secs_f64();
         RunBudget {
             events,
@@ -386,8 +459,8 @@ impl<A: Actor> Engine<A> {
     /// Run while the next event is at or before `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > deadline {
+        while let Some((at, _, _)) = self.queue.peek() {
+            if at > deadline {
                 break;
             }
             self.step();
@@ -396,7 +469,144 @@ impl<A: Actor> Engine<A> {
         self.now = self.now.max(deadline);
         n
     }
+
+    /// [`Engine::run_until_idle`] with the same-instant parallel drain:
+    /// identical event trace (and therefore identical stats, actor state
+    /// and report bytes), potentially less wall-clock time when multiple
+    /// threads are set and many events share an instant. Falls back to
+    /// the sequential loop at `threads == 1`.
+    pub fn run_until_idle_threaded(&mut self, max_events: u64) -> u64
+    where
+        A: Send,
+        A::Msg: Send,
+        A::Timer: Send,
+    {
+        if self.threads <= 1 {
+            return self.run_until_idle(max_events);
+        }
+        self.drain_batched(None, max_events)
+    }
+
+    /// [`Engine::run_until`] with the same-instant parallel drain (see
+    /// [`Engine::run_until_idle_threaded`] for the contract).
+    pub fn run_until_threaded(&mut self, deadline: SimTime) -> u64
+    where
+        A: Send,
+        A::Msg: Send,
+        A::Timer: Send,
+    {
+        if self.threads <= 1 {
+            return self.run_until(deadline);
+        }
+        let n = self.drain_batched(Some(deadline), u64::MAX);
+        self.now = self.now.max(deadline);
+        n
+    }
+
+    /// The batched drain behind the `_threaded` entry points.
+    ///
+    /// Events due at one instant on *distinct* nodes are independent: a
+    /// handler mutates only its own actor, reads only the immutable
+    /// metric, and every observable side effect (sends, timers, stats)
+    /// goes through its `Ctx` buffers. So each batch runs its handlers on
+    /// scoped worker threads, then applies the buffered effects **in pop
+    /// order** — sequence numbers, float accumulation order and stats
+    /// merges all match the sequential engine exactly, which is what
+    /// keeps `--threads N` byte-identical to `--threads 1`. An instant's
+    /// batch ends early at the second event for the same node (it must
+    /// observe the first handler's state) and new events scheduled *at*
+    /// the current instant carry higher sequence numbers, so they
+    /// correctly fall into a later batch.
+    fn drain_batched(&mut self, deadline: Option<SimTime>, max_events: u64) -> u64
+    where
+        A: Send,
+        A::Msg: Send,
+        A::Timer: Send,
+    {
+        struct BatchItem<A: Actor> {
+            node: NodeIdx,
+            actor: A,
+            work: Option<Work<A::Msg, A::Timer>>,
+            out: Vec<Effect<A::Msg, A::Timer>>,
+            stats: SimStats,
+        }
+
+        let mut processed = 0u64;
+        let mut batch: Vec<BatchItem<A>> = Vec::new();
+        let mut seen: std::collections::HashSet<NodeIdx> = std::collections::HashSet::new();
+        // Recycled effect buffers, one per batch slot — the batched
+        // sibling of the sequential path's reused `out_buf`, so the hot
+        // path allocates no per-event buffers either way.
+        let mut out_pool: Vec<Vec<Effect<A::Msg, A::Timer>>> = Vec::new();
+        while processed < max_events {
+            let Some((t, _, _)) = self.queue.peek() else { break };
+            if deadline.is_some_and(|d| t > d) {
+                break;
+            }
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            // ---- collect one same-instant, distinct-node batch ----------
+            batch.clear();
+            seen.clear();
+            while processed < max_events {
+                let Some((at, _, key)) = self.queue.peek() else { break };
+                if at != t || seen.contains(&key) {
+                    break;
+                }
+                let (_, _, _, ev) = self.queue.pop().expect("peeked");
+                processed += 1;
+                self.events_processed += 1;
+                let Some((node, work)) = self.decode(ev) else { continue };
+                let Some(actor) = self.take_actor(node, &work) else { continue };
+                seen.insert(node);
+                batch.push(BatchItem {
+                    node,
+                    actor,
+                    work: Some(work),
+                    out: out_pool.pop().unwrap_or_default(),
+                    stats: SimStats::default(),
+                });
+            }
+            // ---- run handlers (parallel when the batch is worth it) -----
+            let metric = &*self.metric;
+            let run_item = |item: &mut BatchItem<A>| {
+                let work = item.work.take().expect("work set at collection");
+                Self::run_handler(
+                    &mut item.actor,
+                    t,
+                    item.node,
+                    metric,
+                    &mut item.stats,
+                    &mut item.out,
+                    work,
+                );
+            };
+            if batch.len() >= PARALLEL_BATCH_MIN && self.threads > 1 {
+                let chunk = batch.len().div_ceil(self.threads);
+                std::thread::scope(|s| {
+                    for ch in batch.chunks_mut(chunk) {
+                        s.spawn(|| ch.iter_mut().for_each(run_item));
+                    }
+                });
+            } else {
+                batch.iter_mut().for_each(run_item);
+            }
+            // ---- apply effects in pop order (sequential, deterministic) -
+            for mut item in batch.drain(..) {
+                self.actors[item.node] = Some(item.actor);
+                self.stats.absorb(&item.stats);
+                for eff in item.out.drain(..) {
+                    self.apply_effect(item.node, eff);
+                }
+                out_pool.push(item.out);
+            }
+        }
+        processed
+    }
 }
+
+/// A decoded event, ready to run: the node it fires on and the work.
+type NodeWork<M, T> = (NodeIdx, Work<M, T>);
 
 enum Work<M, T> {
     Msg(NodeIdx, M),
@@ -637,11 +847,108 @@ mod tests {
         for w in a.windows(2) {
             assert!(w[0].0 <= w[1].0, "time went backwards in trace");
         }
-        let first: Vec<u32> = a.iter().take(64).map(|&(t, _, m)| {
-            assert_eq!(t, 1);
-            m
-        }).collect();
+        let first: Vec<u32> = a
+            .iter()
+            .take(64)
+            .map(|&(t, _, m)| {
+                assert_eq!(t, 1);
+                m
+            })
+            .collect();
         let expected: Vec<u32> = (0..64).map(|i| i % 8).collect();
         assert_eq!(first, expected, "same-instant deliveries keep scheduling order");
+    }
+
+    /// A `Send` tracer (shared log behind a mutex) for exercising the
+    /// threaded drain; entries are re-sorted by a per-event ticket so the
+    /// mutex's arbitrary interleaving doesn't obscure the comparison.
+    struct SyncTracer {
+        log: std::sync::Arc<std::sync::Mutex<Vec<(u64, NodeIdx, u32)>>>,
+    }
+
+    impl Actor for SyncTracer {
+        type Msg = u32;
+        type Timer = u32;
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: NodeIdx, msg: u32) {
+            self.log.lock().unwrap().push((ctx.now.0, ctx.me, msg));
+            ctx.record("payload", u64::from(msg));
+            ctx.count("receipts", 1);
+            if msg < 6 {
+                // Same-instant self-timer, a cross-node send and a burst
+                // timer landing on a shared future instant.
+                ctx.set_timer(SimTime::ZERO, msg + 100);
+                ctx.send((ctx.me + 1) % 8, msg + 1);
+                ctx.set_timer(SimTime(32 - ctx.now.0 % 32), msg + 200);
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, u32>, timer: u32) {
+            self.log.lock().unwrap().push((ctx.now.0, ctx.me, timer));
+        }
+    }
+
+    /// The threaded drain must yield the same stats, clock and per-node
+    /// event multiset as the sequential engine — the engine-level half of
+    /// the `--threads 1` vs `--threads N` byte-compare contract.
+    #[test]
+    fn threaded_drain_matches_sequential_engine() {
+        let run = |threads: usize| {
+            let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+            let space = RingSpace::even(8, 64.0);
+            let mut e: Engine<SyncTracer> = Engine::new(Box::new(space), SimTime(1));
+            e.set_threads(threads);
+            for i in 0..8 {
+                e.add_node(i, SyncTracer { log: log.clone() });
+            }
+            for i in 0..64u32 {
+                e.inject((i as usize) % 8, i % 6);
+            }
+            let n = e.run_until_idle_threaded(100_000);
+            assert!(e.is_idle());
+            let mut trace = log.lock().unwrap().clone();
+            // Workers may append same-instant entries in any real-time
+            // order; the *simulated* outcome is the sorted multiset.
+            trace.sort_unstable();
+            (
+                n,
+                trace,
+                e.stats().messages,
+                e.stats().timers,
+                e.stats().get("receipts"),
+                e.stats().histogram("payload").map(|h| (h.count(), h.p50(), h.p99())),
+                e.stats().distance.to_bits(),
+                e.now(),
+                e.events_processed(),
+            )
+        };
+        assert_eq!(run(1), run(4), "threaded drain diverged from sequential");
+        assert_eq!(run(4), run(2), "thread counts must agree with each other");
+    }
+
+    /// `run_until_threaded` honors the deadline exactly like `run_until`.
+    #[test]
+    fn threaded_run_until_respects_deadline() {
+        let run = |threads: usize| {
+            let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+            let space = RingSpace::even(8, 64.0);
+            let mut e: Engine<SyncTracer> = Engine::new(Box::new(space), SimTime(1));
+            e.set_threads(threads);
+            for i in 0..8 {
+                e.add_node(i, SyncTracer { log: log.clone() });
+            }
+            for i in 0..32u32 {
+                e.inject((i as usize) % 8, i % 6);
+            }
+            let before = e.run_until_threaded(SimTime(40));
+            let now_mid = e.now();
+            let pending_mid = e.pending();
+            e.run_until_idle_threaded(100_000);
+            (before, now_mid, pending_mid, e.now(), e.stats().messages)
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq, par);
+        assert!(seq.1 >= SimTime(40), "clock advanced to the deadline");
     }
 }

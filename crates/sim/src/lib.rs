@@ -15,10 +15,12 @@
 
 mod engine;
 mod histogram;
+mod shard;
 mod stats;
 mod time;
 
 pub use engine::{Actor, Ctx, Engine, NodeIdx, RunBudget, EXTERNAL};
 pub use histogram::Histogram;
+pub use shard::ShardedQueue;
 pub use stats::SimStats;
 pub use time::SimTime;

@@ -59,6 +59,26 @@ impl SimStats {
         self.hists.iter().map(|(&k, v)| (k, v))
     }
 
+    /// Fold another stats accumulation into this one (counter sums,
+    /// histogram bucket merges). The engine's parallel drain gives each
+    /// same-instant worker a private scratch `SimStats` and absorbs the
+    /// scratches in event order — all merged quantities are integer adds
+    /// or bucket counts, so the result is identical to having accumulated
+    /// sequentially.
+    pub fn absorb(&mut self, other: &SimStats) {
+        self.messages += other.messages;
+        self.dropped += other.dropped;
+        self.partition_dropped += other.partition_dropped;
+        self.distance += other.distance;
+        self.timers += other.timers;
+        for (name, v) in other.named() {
+            self.add(name, v);
+        }
+        for (name, h) in other.histograms() {
+            self.hists.entry(name).or_default().merge(h);
+        }
+    }
+
     /// Snapshot the difference `self - earlier` for the builtin counters —
     /// handy for measuring the cost of a single operation window.
     pub fn delta_messages(&self, earlier: &SimStats) -> u64 {

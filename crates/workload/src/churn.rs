@@ -102,7 +102,12 @@ pub enum ChurnEvent {
 
 impl ChurnSpec {
     /// Expand into timed events within `[start, end)`, sorted ascending.
-    pub fn events(&self, start: SimTime, end: SimTime, rng: &mut StdRng) -> Vec<(SimTime, ChurnEvent)> {
+    pub fn events(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        rng: &mut StdRng,
+    ) -> Vec<(SimTime, ChurnEvent)> {
         let span = (end.0.saturating_sub(start.0)) as f64;
         if span <= 0.0 {
             return Vec::new();
@@ -211,10 +216,8 @@ mod tests {
         let spec = ChurnSpec::Diurnal { cycles: 1, joins: 200, leaves: 200, min_nodes: 8 };
         let evs = spec.events(SimTime(0), SimTime(1_000_000), &mut rng());
         // With one cycle, joins crest in the first half, leaves in the second.
-        let early_joins = evs
-            .iter()
-            .filter(|(t, e)| matches!(e, ChurnEvent::Join) && t.0 < 500_000)
-            .count();
+        let early_joins =
+            evs.iter().filter(|(t, e)| matches!(e, ChurnEvent::Join) && t.0 < 500_000).count();
         let late_joins =
             evs.iter().filter(|(_, e)| matches!(e, ChurnEvent::Join)).count() - early_joins;
         assert!(early_joins > late_joins * 3, "{early_joins} vs {late_joins}");

@@ -40,6 +40,6 @@ pub mod traffic;
 
 pub use churn::{ChurnEvent, ChurnSpec};
 pub use report::{HistSummary, InvariantReport, OpStats, PhaseReport, ScenarioReport};
-pub use runner::{run, run_with_totals, RunTotals};
+pub use runner::{run, run_timed, run_with_totals, RunTiming, RunTotals};
 pub use spec::{PhaseSpec, ScenarioSpec, SpaceKind, TrafficSpec};
 pub use traffic::{Arrival, Popularity, PopularitySampler};

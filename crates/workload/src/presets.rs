@@ -19,7 +19,31 @@ pub const PRESET_NAMES: &[&str] =
     &["steady-zipf", "flash-crowd", "churn-storm", "partition-heal", "mass-failure"];
 
 /// Default node counts of the `scale` benchmark family.
-pub const SCALE_SIZES: &[usize] = &[1_000, 4_000, 10_000];
+pub const SCALE_SIZES: &[usize] = &[1_000, 4_000, 10_000, 25_000];
+
+/// Which substrate a `scale` run measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleSpace {
+    /// Uniform torus at constant density (the default trajectory).
+    Torus,
+    /// √n×√n lattice at the same side (exercises exact distance ties).
+    Grid,
+    /// Transit-stub topology (§6.2–6.3): the clustered substrate whose
+    /// locality optimization previously had no large-n measurement.
+    TransitStub,
+}
+
+impl ScaleSpace {
+    /// Parse a `--space` flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "torus" => Some(ScaleSpace::Torus),
+            "grid" => Some(ScaleSpace::Grid),
+            "transit-stub" => Some(ScaleSpace::TransitStub),
+            _ => None,
+        }
+    }
+}
 
 /// Space side for a scale run of `nodes` nodes: grown with √n from the
 /// 64-node / side-1000 anchor every other preset uses, keeping node
@@ -30,18 +54,45 @@ pub fn scale_side(nodes: usize) -> f64 {
     1000.0 * (nodes as f64 / 64.0).sqrt()
 }
 
+/// Transit-stub shape for roughly `nodes` nodes: 8-node stubs, 4 stubs
+/// per transit domain (the §6.2 flavor of "many small stubs"), as many
+/// transit domains as needed. The realized node count is the largest
+/// multiple of 32 not exceeding `nodes` (at least one transit domain).
+pub fn scale_stub_shape(nodes: usize) -> (usize, usize, usize) {
+    ((nodes / 32).max(1), 4, 8)
+}
+
 /// The `scale` preset: the steady-zipf workload on a proportionally
 /// larger space, sized for 1k/4k/10k+ node throughput runs. Phase
 /// durations also stretch with the side so simulated latencies occupy
-/// the same fraction of a phase at every size.
-pub fn scale_preset(nodes: usize, ops: u64, seed: u64, grid: bool) -> ScenarioSpec {
+/// the same fraction of a phase at every size. `threads` sets the
+/// worker-thread count for bootstrap/drain fan-out — the report is
+/// byte-identical at every value.
+pub fn scale_preset(
+    nodes: usize,
+    ops: u64,
+    seed: u64,
+    space: ScaleSpace,
+    threads: usize,
+) -> ScenarioSpec {
     let side = scale_side(nodes);
-    let stretch = side / 1000.0;
+    // Stretch phases so simulated latencies occupy the same fraction of
+    // a phase at every size: with √n sides for the planar spaces, or the
+    // fixed 10_000-unit transit square (~12k diameter with stub spread).
+    let stub_shape = scale_stub_shape(nodes);
+    let (stretch, nodes) = match space {
+        ScaleSpace::TransitStub => {
+            let (t, s, ns) = stub_shape;
+            (12.0, t * s * ns)
+        }
+        _ => (side / 1000.0, nodes),
+    };
     let objects = (nodes / 2).max(8);
     let spec = ScenarioSpec::new("scale")
         .capacity(nodes)
         .initial_nodes(nodes)
         .objects(objects)
+        .threads(threads)
         .phase(
             PhaseSpec::new("warmup", d(15_000.0 * stretch))
                 .arrival(Arrival::Even { ops: ops / 5 })
@@ -55,7 +106,14 @@ pub fn scale_preset(nodes: usize, ops: u64, seed: u64, grid: bool) -> ScenarioSp
                 .writes(0.1)
                 .checked(),
         );
-    let spec = if grid { spec.grid(side) } else { spec.torus(side) };
+    let spec = match space {
+        ScaleSpace::Torus => spec.torus(side),
+        ScaleSpace::Grid => spec.grid(side),
+        ScaleSpace::TransitStub => {
+            let (t, s, ns) = stub_shape;
+            spec.transit_stub(t, s, ns)
+        }
+    };
     spec.seed(seed)
 }
 
@@ -228,12 +286,27 @@ mod tests {
     #[test]
     fn scale_presets_validate_at_every_size() {
         for &n in SCALE_SIZES {
-            for grid in [false, true] {
-                let spec = scale_preset(n, 2000, 42, grid);
-                spec.validate().unwrap_or_else(|e| panic!("scale({n}, grid={grid}): {e}"));
-                assert_eq!(spec.initial_nodes, n);
+            for space in [ScaleSpace::Torus, ScaleSpace::Grid, ScaleSpace::TransitStub] {
+                let spec = scale_preset(n, 2000, 42, space, 4);
+                spec.validate().unwrap_or_else(|e| panic!("scale({n}, {space:?}): {e}"));
+                assert_eq!(spec.threads, 4);
+                if space == ScaleSpace::TransitStub {
+                    // Realized size: the largest stub-shape multiple ≤ n.
+                    assert!(spec.initial_nodes <= n && spec.initial_nodes > n - 32);
+                    assert_eq!(spec.build_space().len(), spec.capacity);
+                } else {
+                    assert_eq!(spec.initial_nodes, n);
+                }
             }
         }
+    }
+
+    #[test]
+    fn scale_space_parses_flag_values() {
+        assert_eq!(ScaleSpace::parse("torus"), Some(ScaleSpace::Torus));
+        assert_eq!(ScaleSpace::parse("grid"), Some(ScaleSpace::Grid));
+        assert_eq!(ScaleSpace::parse("transit-stub"), Some(ScaleSpace::TransitStub));
+        assert_eq!(ScaleSpace::parse("mesh"), None);
     }
 
     #[test]

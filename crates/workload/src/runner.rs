@@ -55,10 +55,40 @@ pub struct RunTotals {
     pub final_nodes: usize,
 }
 
+/// Wall-clock observations of one scenario run — machine-dependent by
+/// nature, so kept apart from both the byte-stable [`ScenarioReport`]
+/// *and* the deterministic [`RunTotals`] (whose equality across runs is
+/// itself a regression assertion).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunTiming {
+    /// Seconds spent in the static bootstrap (`static_populate`) — the
+    /// phase the parallel table construction accelerates.
+    pub bootstrap_secs: f64,
+    /// Seconds spent driving the scenario after bootstrap (catalog
+    /// publication, phases, drains, invariant checks).
+    pub drive_secs: f64,
+}
+
+impl RunTiming {
+    /// Engine events per wall-clock second of the *whole* drive loop —
+    /// event dispatch plus between-phase invariant checks and report
+    /// assembly (a whole-run analogue of [`tapestry_sim::RunBudget`],
+    /// not a pure engine-dispatch rate; at large n the checked phases'
+    /// invariant sweeps are a real share of the denominator). 0 when
+    /// nothing ran.
+    pub fn events_per_sec(&self, events: u64) -> f64 {
+        if self.drive_secs > 0.0 {
+            events as f64 / self.drive_secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Run `spec` to completion and return its report.
 ///
 /// Deterministic: the same spec (including seed) produces a bit-identical
-/// report on the same platform.
+/// report on the same platform — regardless of `spec.threads`.
 pub fn run(spec: &ScenarioSpec) -> Result<ScenarioReport, String> {
     run_with_totals(spec).map(|(report, _)| report)
 }
@@ -66,10 +96,25 @@ pub fn run(spec: &ScenarioSpec) -> Result<ScenarioReport, String> {
 /// [`run`], additionally returning the engine-level [`RunTotals`] the
 /// deterministic report deliberately omits.
 pub fn run_with_totals(spec: &ScenarioSpec) -> Result<(ScenarioReport, RunTotals), String> {
+    run_timed(spec).map(|(report, totals, _)| (report, totals))
+}
+
+/// [`run_with_totals`], additionally returning wall-clock [`RunTiming`]
+/// (bootstrap vs drive) for the scale driver's per-thread-count columns.
+pub fn run_timed(spec: &ScenarioSpec) -> Result<(ScenarioReport, RunTotals, RunTiming), String> {
     spec.validate()?;
     let space = spec.build_space();
     let total_points = space.len();
-    let mut net = TapestryNetwork::bootstrap(spec.cfg, space, spec.seed, spec.initial_nodes);
+    let t0 = std::time::Instant::now();
+    let mut net = TapestryNetwork::bootstrap_threaded(
+        spec.cfg,
+        space,
+        spec.seed,
+        spec.initial_nodes,
+        spec.threads,
+    );
+    let bootstrap_secs = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5CE7_A1E5);
 
     // Unoccupied points, lowest first (pop from the back).
@@ -95,6 +140,9 @@ pub fn run_with_totals(spec: &ScenarioSpec) -> Result<(ScenarioReport, RunTotals
         space: match spec.space {
             SpaceKind::Torus { side } => format!("torus({side:.0})"),
             SpaceKind::Grid { side } => format!("grid({side:.0})"),
+            SpaceKind::TransitStub { transits, stubs_per_transit, nodes_per_stub } => {
+                format!("transit-stub({transits}x{stubs_per_transit}x{nodes_per_stub})")
+            }
         },
         capacity: total_points as u64,
         initial_nodes: spec.initial_nodes as u64,
@@ -170,7 +218,13 @@ pub fn run_with_totals(spec: &ScenarioSpec) -> Result<(ScenarioReport, RunTotals
                     }
                 }
                 Action::Churn(ev) => apply_churn(
-                    ev, &mut net, &mut rng, &mut free, &mut joining, &mut leaving, &mut churn,
+                    ev,
+                    &mut net,
+                    &mut rng,
+                    &mut free,
+                    &mut joining,
+                    &mut leaving,
+                    &mut churn,
                 ),
             }
             settle_membership(&mut net, &mut free, &mut joining, &mut leaving, &mut churn, false);
@@ -227,7 +281,8 @@ pub fn run_with_totals(spec: &ScenarioSpec) -> Result<(ScenarioReport, RunTotals
         peak_table_entries,
         final_nodes: net.len(),
     };
-    Ok((report, totals))
+    let timing = RunTiming { bootstrap_secs, drive_secs: t1.elapsed().as_secs_f64() };
+    Ok((report, totals, timing))
 }
 
 /// Uniformly random live member (allocation-free: samples the network's
@@ -258,11 +313,8 @@ fn apply_churn(
         },
         ChurnEvent::Leave { graceful, min_nodes } => {
             // Don't pick nodes already on their way out, and keep a floor.
-            let candidates: Vec<NodeIdx> = net
-                .node_ids()
-                .into_iter()
-                .filter(|i| !leaving.contains(i))
-                .collect();
+            let candidates: Vec<NodeIdx> =
+                net.node_ids().into_iter().filter(|i| !leaving.contains(i)).collect();
             if candidates.len() <= min_nodes.max(2) {
                 return;
             }
@@ -276,11 +328,8 @@ fn apply_churn(
             }
         }
         ChurnEvent::MassFailure { fraction, correlated } => {
-            let candidates: Vec<NodeIdx> = net
-                .node_ids()
-                .into_iter()
-                .filter(|i| !leaving.contains(i))
-                .collect();
+            let candidates: Vec<NodeIdx> =
+                net.node_ids().into_iter().filter(|i| !leaving.contains(i)).collect();
             let keep_floor = 4usize;
             let n_kill = ((candidates.len() as f64 * fraction.clamp(0.0, 0.9)) as usize)
                 .min(candidates.len().saturating_sub(keep_floor));
@@ -434,9 +483,14 @@ fn counter_deltas(after: &SimStats, before: &SimStats) -> BTreeMap<String, u64> 
 /// The between-phase invariant spot-checks: Properties 1 and 2 over the
 /// whole mesh, Theorem 2 root uniqueness over a deterministic sample of
 /// the catalog.
-fn spot_checks(net: &TapestryNetwork, spec: &ScenarioSpec, objects: &[ObjectRec]) -> InvariantReport {
+fn spot_checks(
+    net: &TapestryNetwork,
+    spec: &ScenarioSpec,
+    objects: &[ObjectRec],
+) -> InvariantReport {
     let (prop2_optimal, prop2_total) = net.check_property2();
-    let sample: Vec<Guid> = objects.iter().step_by((objects.len() / 6).max(1)).map(|o| o.guid).collect();
+    let sample: Vec<Guid> =
+        objects.iter().step_by((objects.len() / 6).max(1)).map(|o| o.guid).collect();
     let mut unique = 0u64;
     for &g in &sample {
         let roots = net.distinct_roots(&root_id(spec.cfg.space, g, 0));

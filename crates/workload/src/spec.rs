@@ -6,7 +6,7 @@
 use crate::churn::ChurnSpec;
 use crate::traffic::{Arrival, Popularity};
 use tapestry_core::TapestryConfig;
-use tapestry_metric::{GridSpace, MetricSpace, TorusSpace};
+use tapestry_metric::{GridSpace, MetricSpace, TorusSpace, TransitStubSpace};
 use tapestry_sim::SimTime;
 
 /// Which metric substrate the scenario runs over.
@@ -22,6 +22,17 @@ pub enum SpaceKind {
     Grid {
         /// Side length.
         side: f64,
+    },
+    /// A transit-stub topology (§6.2–6.3): clustered stubs with a ≥10×
+    /// intra/inter-stub latency gap. Capacity is the product of the three
+    /// shape parameters.
+    TransitStub {
+        /// Transit domains.
+        transits: usize,
+        /// Stub networks per transit domain.
+        stubs_per_transit: usize,
+        /// Nodes per stub network.
+        nodes_per_stub: usize,
     },
 }
 
@@ -135,6 +146,12 @@ pub struct ScenarioSpec {
     pub initial_nodes: usize,
     /// Catalog size: objects published before the first phase.
     pub objects: usize,
+    /// Worker threads for the bootstrap fan-out, invariant sweeps and
+    /// the engine's same-instant drain. **Never** affects the report:
+    /// every value produces byte-identical output (CI's
+    /// `determinism-matrix` job enforces this), so it is deliberately
+    /// omitted from the report JSON.
+    pub threads: usize,
     /// The phases, run in order.
     pub phases: Vec<PhaseSpec>,
 }
@@ -151,6 +168,7 @@ impl ScenarioSpec {
             capacity: 64,
             initial_nodes: 64,
             objects: 32,
+            threads: 1,
             phases: Vec::new(),
         }
     }
@@ -176,6 +194,26 @@ impl ScenarioSpec {
     /// Run over a grid of side `side`.
     pub fn grid(mut self, side: f64) -> Self {
         self.space = SpaceKind::Grid { side };
+        self
+    }
+
+    /// Run over a transit-stub topology of the given shape. Also sets the
+    /// capacity to the shape's node count (the space is not resizable).
+    pub fn transit_stub(
+        mut self,
+        transits: usize,
+        stubs_per_transit: usize,
+        nodes_per_stub: usize,
+    ) -> Self {
+        self.space = SpaceKind::TransitStub { transits, stubs_per_transit, nodes_per_stub };
+        self.capacity = transits * stubs_per_transit * nodes_per_stub;
+        self
+    }
+
+    /// Set the worker-thread count (clamped to ≥ 1; reports are
+    /// byte-identical at every value).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -207,11 +245,16 @@ impl ScenarioSpec {
     /// A grid rounds the capacity up to the next perfect square.
     pub fn build_space(&self) -> Box<dyn MetricSpace> {
         match self.space {
-            SpaceKind::Torus { side } => Box::new(TorusSpace::random(self.capacity, side, self.seed)),
+            SpaceKind::Torus { side } => {
+                Box::new(TorusSpace::random(self.capacity, side, self.seed))
+            }
             SpaceKind::Grid { side } => {
                 let w = (self.capacity as f64).sqrt().ceil() as usize;
                 Box::new(GridSpace::new(w, w.max(1), side / w.max(1) as f64))
             }
+            SpaceKind::TransitStub { transits, stubs_per_transit, nodes_per_stub } => Box::new(
+                TransitStubSpace::new(transits, stubs_per_transit, nodes_per_stub, self.seed),
+            ),
         }
     }
 
@@ -232,6 +275,18 @@ impl ScenarioSpec {
         }
         if self.phases.is_empty() {
             return Err("scenario has no phases".into());
+        }
+        if let SpaceKind::TransitStub { transits, stubs_per_transit, nodes_per_stub } = self.space {
+            let shape = transits * stubs_per_transit * nodes_per_stub;
+            if shape == 0 {
+                return Err("transit-stub shape must be non-degenerate".into());
+            }
+            if shape != self.capacity {
+                return Err(format!(
+                    "capacity {} must equal the transit-stub shape {transits}·{stubs_per_transit}·{nodes_per_stub} = {shape}",
+                    self.capacity
+                ));
+            }
         }
         for p in &self.phases {
             if p.duration == SimTime::ZERO {
@@ -334,7 +389,11 @@ mod tests {
         cut.phases[0].churn.push(ChurnSpec::Partition { at: 0.7, heal_at: 0.2 });
         assert!(cut.validate().is_err(), "partition must heal after it starts");
         let mut mf = base();
-        mf.phases[0].churn.push(ChurnSpec::MassFailure { at: 0.5, fraction: 1.0, correlated: false });
+        mf.phases[0].churn.push(ChurnSpec::MassFailure {
+            at: 0.5,
+            fraction: 1.0,
+            correlated: false,
+        });
         assert!(mf.validate().is_err(), "cannot kill everyone");
     }
 }

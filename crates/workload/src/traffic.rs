@@ -204,8 +204,11 @@ mod tests {
 
     #[test]
     fn flash_crowd_ramps_toward_the_end() {
-        let ts = Arrival::FlashCrowd { ops: 2000, peak_ratio: 9.0 }
-            .times(SimTime(0), SimTime(1_000_000), &mut rng());
+        let ts = Arrival::FlashCrowd { ops: 2000, peak_ratio: 9.0 }.times(
+            SimTime(0),
+            SimTime(1_000_000),
+            &mut rng(),
+        );
         let first_half = ts.iter().filter(|t| t.0 < 500_000).count();
         let second_half = ts.len() - first_half;
         assert!(

@@ -14,7 +14,7 @@ use tapestry_workload::{presets, runner};
 #[test]
 fn thousand_node_snapshot_determinism() {
     let run = || {
-        let spec = presets::scale_preset(1000, 300, 42, false);
+        let spec = presets::scale_preset(1000, 300, 42, presets::ScaleSpace::Torus, 1);
         runner::run_with_totals(&spec).expect("scale scenario runs")
     };
     let (report_a, totals_a) = run();
@@ -37,7 +37,7 @@ fn thousand_node_snapshot_determinism() {
 /// deterministic report deliberately omits.
 #[test]
 fn run_totals_report_engine_work() {
-    let spec = presets::scale_preset(1000, 300, 7, false);
+    let spec = presets::scale_preset(1000, 300, 7, presets::ScaleSpace::Torus, 1);
     let (report, totals) = runner::run_with_totals(&spec).expect("runs");
     assert!(totals.events > 0);
     assert!(
@@ -63,8 +63,42 @@ fn run_totals_report_engine_work() {
 #[test]
 fn scale_grid_variant_is_deterministic() {
     let run = || {
-        let spec = presets::scale_preset(256, 150, 13, true);
+        let spec = presets::scale_preset(256, 150, 13, presets::ScaleSpace::Grid, 1);
         runner::run(&spec).expect("grid scale runs").to_json()
     };
     assert_eq!(run(), run());
+}
+
+/// The merge-order contract end to end: the same scale scenario run with
+/// 1, 2 and 4 worker threads must produce byte-identical reports *and*
+/// identical engine totals — the in-process mirror of CI's
+/// `determinism-matrix` job.
+#[test]
+fn thread_counts_produce_byte_identical_reports() {
+    let run = |threads: usize| {
+        let spec = presets::scale_preset(512, 250, 42, presets::ScaleSpace::Torus, threads);
+        let (report, totals, _timing) = runner::run_timed(&spec).expect("scale scenario runs");
+        (report.to_json(), totals)
+    };
+    let (json1, totals1) = run(1);
+    for threads in [2, 4] {
+        let (json_n, totals_n) = run(threads);
+        assert_eq!(json1, json_n, "report bytes diverged at --threads {threads}");
+        assert_eq!(totals1, totals_n, "engine totals diverged at --threads {threads}");
+    }
+}
+
+/// The transit-stub scale point: runs, checks out, and stays
+/// deterministic across repeats and thread counts (the §6.3 substrate's
+/// first large-n trajectory coverage).
+#[test]
+fn transit_stub_scale_point_is_deterministic() {
+    let run = |threads: usize| {
+        let spec = presets::scale_preset(256, 150, 21, presets::ScaleSpace::TransitStub, threads);
+        runner::run(&spec).expect("transit-stub scale runs").to_json()
+    };
+    let a = run(1);
+    assert_eq!(a, run(1), "repeat determinism");
+    assert_eq!(a, run(3), "thread-count determinism");
+    assert!(a.contains("transit-stub(8x4x8)"), "space label records the shape: {a}");
 }

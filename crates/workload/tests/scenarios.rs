@@ -2,8 +2,8 @@
 //! harvesting, churn/partition visibility in the report, and the
 //! invariant spot-checks.
 
-use tapestry_workload::{presets, runner, Arrival, ChurnSpec, PhaseSpec, Popularity, ScenarioSpec};
 use tapestry_sim::SimTime;
+use tapestry_workload::{presets, runner, Arrival, ChurnSpec, PhaseSpec, Popularity, ScenarioSpec};
 
 fn d(units: f64) -> SimTime {
     SimTime::from_distance(units)
@@ -126,9 +126,7 @@ fn node_count_schedule_ramps_membership() {
         .initial_nodes(24)
         .objects(8)
         .phase(
-            PhaseSpec::new("grow", d(40_000.0))
-                .arrival(Arrival::Even { ops: 40 })
-                .target_nodes(36),
+            PhaseSpec::new("grow", d(40_000.0)).arrival(Arrival::Even { ops: 40 }).target_nodes(36),
         )
         .phase(
             PhaseSpec::new("shrink", d(40_000.0))

@@ -19,8 +19,12 @@ fn main() {
     let joins = 24;
     let space = TorusSpace::random(n0 + joins, 1000.0, 2024);
     let truth_space = space.clone();
-    let mut net =
-        tapestry::core::TapestryNetwork::bootstrap(TapestryConfig::default(), Box::new(space), 2024, n0);
+    let mut net = tapestry::core::TapestryNetwork::bootstrap(
+        TapestryConfig::default(),
+        Box::new(space),
+        2024,
+        n0,
+    );
 
     println!("{:>6} {:>10} {:>10} {:>8} {:>9}", "node", "found-NN", "true-NN", "exact?", "msgs");
     let mut exact = 0;

@@ -23,21 +23,18 @@ fn main() {
     let server = net.node_ids()[17];
     let guid = net.random_guid();
     net.publish(server, guid);
-    println!(
-        "server {} published object {guid} (root node: {})",
-        server,
-        net.root_of(guid, 0)
-    );
+    println!("server {} published object {guid} (root node: {})", server, net.root_of(guid, 0));
 
     // Everyone can find it; queries from nearby clients stay cheap.
-    println!("\n{:>8} {:>6} {:>12} {:>12} {:>8}", "origin", "hops", "query dist", "direct dist", "stretch");
+    println!(
+        "\n{:>8} {:>6} {:>12} {:>12} {:>8}",
+        "origin", "hops", "query dist", "direct dist", "stretch"
+    );
     for &origin in net.node_ids().iter().step_by(31) {
         if origin == server {
             continue;
         }
-        let direct = net
-            .nearest_replica_distance(origin, guid)
-            .expect("object is published");
+        let direct = net.nearest_replica_distance(origin, guid).expect("object is published");
         let r = net.locate(origin, guid).expect("locate completes");
         assert_eq!(r.server.expect("found").idx, server);
         println!(

@@ -64,8 +64,5 @@ fn main() {
          never leave the stub)",
         local_off / local_on.max(1e-9)
     );
-    assert!(
-        local_on < local_off,
-        "the locality optimization must cut intra-stub query latency"
-    );
+    assert!(local_on < local_off, "the locality optimization must cut intra-stub query latency");
 }

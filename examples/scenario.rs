@@ -61,7 +61,11 @@ fn main() {
         if let Some(inv) = &p.invariants {
             println!(
                 "{:12} invariants: prop1 viol {}  prop2 {}/{}  unique roots {}/{}",
-                "", inv.prop1_violations, inv.prop2_optimal, inv.prop2_total, inv.roots_unique,
+                "",
+                inv.prop1_violations,
+                inv.prop2_optimal,
+                inv.prop2_total,
+                inv.roots_unique,
                 inv.roots_sampled,
             );
         }

@@ -39,9 +39,7 @@ pub mod prelude {
         LocateResult, NetworkSnapshot, RoutingScheme, TapestryConfig, TapestryNetwork,
     };
     pub use tapestry_id::{Guid, Id, IdSpace, Prefix};
-    pub use tapestry_metric::{
-        GridSpace, MetricSpace, RingSpace, TorusSpace, TransitStubSpace,
-    };
+    pub use tapestry_metric::{GridSpace, MetricSpace, RingSpace, TorusSpace, TransitStubSpace};
     pub use tapestry_sim::{Histogram, SimTime};
     pub use tapestry_workload::{
         Arrival, ChurnSpec, PhaseSpec, Popularity, ScenarioReport, ScenarioSpec,

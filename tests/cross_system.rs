@@ -52,8 +52,7 @@ fn tapestry_beats_chord_on_stretch_for_nearby_objects() {
 #[test]
 fn all_systems_locate_the_same_published_objects() {
     let space = TorusSpace::random(N, 1000.0, SEED + 1);
-    let mut net =
-        TapestryNetwork::build(TapestryConfig::default(), Box::new(space), SEED + 1);
+    let mut net = TapestryNetwork::build(TapestryConfig::default(), Box::new(space), SEED + 1);
     let mut chord = Chord::for_size(N, SEED + 1);
     let mut pastry = Pastry::new(SEED + 1);
     let prr_space = TorusSpace::random(N, 1000.0, SEED + 1);
@@ -70,10 +69,7 @@ fn all_systems_locate_the_same_published_objects() {
         pastry.publish(server, i);
         prr.publish(server, i);
         let origin = (server + 31) % N;
-        assert_eq!(
-            net.locate(origin, guid).and_then(|r| r.server).map(|s| s.idx),
-            Some(server)
-        );
+        assert_eq!(net.locate(origin, guid).and_then(|r| r.server).map(|s| s.idx), Some(server));
         assert_eq!(*chord.locate(origin, i).unwrap().nodes.last().unwrap(), server);
         assert_eq!(*pastry.locate(origin, i).unwrap().nodes.last().unwrap(), server);
         assert_eq!(prr.locate(origin, i).server, Some(server));
@@ -99,8 +95,7 @@ fn space_accounting_orders_systems_as_table1_predicts() {
 #[test]
 fn tapestry_hops_stay_logarithmic_like_pastry() {
     let space = TorusSpace::random(N, 1000.0, SEED + 3);
-    let mut net =
-        TapestryNetwork::build(TapestryConfig::default(), Box::new(space), SEED + 3);
+    let mut net = TapestryNetwork::build(TapestryConfig::default(), Box::new(space), SEED + 3);
     let mut pastry = Pastry::new(SEED + 3);
     for p in 0..N {
         pastry.join(p);

@@ -35,12 +35,7 @@ fn full_scenario(seed: u64) -> (u64, u64, Vec<(u32, u64)>, usize) {
         let r = net.locate(origin, g).expect("completes");
         results.push((r.hops, r.distance.to_bits()));
     }
-    (
-        net.engine().stats().messages,
-        net.engine().now().0,
-        results,
-        net.check_property1().len(),
-    )
+    (net.engine().stats().messages, net.engine().now().0, results, net.check_property1().len())
 }
 
 #[test]
@@ -87,11 +82,7 @@ fn identical_seeds_reproduce_identical_histories() {
 fn different_seeds_diverge() {
     let a = full_scenario(72);
     let b = full_scenario(73);
-    assert_ne!(
-        (a.0, a.1),
-        (b.0, b.1),
-        "different seeds should explore different histories"
-    );
+    assert_ne!((a.0, a.1), (b.0, b.1), "different seeds should explore different histories");
 }
 
 #[test]

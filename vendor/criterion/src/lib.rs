@@ -167,9 +167,7 @@ mod tests {
     #[test]
     fn bench_function_runs_routines() {
         let mut n = 0u64;
-        Criterion::default().sample_size(3).bench_function("shim/count", |b| {
-            b.iter(|| n += 1)
-        });
+        Criterion::default().sample_size(3).bench_function("shim/count", |b| b.iter(|| n += 1));
         // 1 warm-up + 3 samples.
         assert_eq!(n, 4);
     }
