@@ -10,9 +10,19 @@
 //! scale                                      # 1k/4k/10k/25k, torus, 1+4 threads
 //! scale --nodes 256 --threads 1              # one point, sequential
 //! scale --nodes 1000,10000 --space torus,transit-stub
-//! scale --json BENCH_scale.json              # the committed trajectory
+//! scale --churn 1000,25000,50000             # churn-scale points (batched
+//!                                            #   joins + solo baseline, side by side)
+//! scale --exhaustive-checks                  # every-member Theorem 2 walks
+//! # the committed trajectory:
+//! scale --space torus,transit-stub --churn 1000,25000,50000 --json BENCH_scale.json
 //! scale --nodes 1000 --sim-json a.json       # deterministic part only
 //! ```
+//!
+//! Churn points run the `churn-scale` preset twice: once with joins
+//! coalesced into shared multicast waves (`tapestry-membership`) and once
+//! through the classic solo-join path, reporting measured mean
+//! `join.messages` per completed join for both — the side-by-side figure
+//! the ROADMAP's dynamic-insertion item asks for.
 //!
 //! Every point is run once per `--threads` value and the driver *fails*
 //! unless all thread counts produce byte-identical reports — the
@@ -25,7 +35,7 @@
 //! as a non-determinism gate.
 
 use tapestry_bench::{f2, header, row};
-use tapestry_workload::presets::{scale_preset, ScaleSpace, SCALE_SIZES};
+use tapestry_workload::presets::{churn_scale_preset, scale_preset, ScaleSpace, SCALE_SIZES};
 use tapestry_workload::{runner, RunTiming, RunTotals, ScenarioReport};
 
 struct Args {
@@ -34,6 +44,8 @@ struct Args {
     seed: u64,
     spaces: Vec<ScaleSpace>,
     threads: Vec<usize>,
+    churn: Vec<usize>,
+    exhaustive_checks: bool,
     json: Option<String>,
     sim_json: Option<String>,
     quiet: bool,
@@ -43,8 +55,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: scale [--nodes N[,N,...]] [--ops N] [--seed S]\n\
          \x20            [--space torus|grid|transit-stub[,...]] [--threads T[,T,...]]\n\
+         \x20            [--churn N[,N,...]] [--exhaustive-checks]\n\
          \x20            [--json PATH] [--sim-json PATH] [--quiet]\n\
-         defaults: --nodes {} --ops 2000 --seed 42 --space torus --threads 1,4",
+         defaults: --nodes {} --ops 2000 --seed 42 --space torus --threads 1,4 --churn (none)",
         SCALE_SIZES.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(",")
     );
     std::process::exit(2)
@@ -57,6 +70,8 @@ fn parse_args() -> Args {
         seed: 42,
         spaces: vec![ScaleSpace::Torus],
         threads: vec![1, 4],
+        churn: Vec::new(),
+        exhaustive_checks: false,
         json: None,
         sim_json: None,
         quiet: false,
@@ -71,10 +86,14 @@ fn parse_args() -> Args {
         };
         match a.as_str() {
             "--nodes" => {
-                args.nodes = val("--nodes")
-                    .split(',')
-                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
-                    .collect();
+                let v = val("--nodes");
+                if v == "none" {
+                    // Churn-only runs (e.g. the CI churn determinism job).
+                    args.nodes = Vec::new();
+                    continue;
+                }
+                args.nodes =
+                    v.split(',').map(|s| s.trim().parse().unwrap_or_else(|_| usage())).collect();
                 if args.nodes.is_empty() {
                     usage()
                 }
@@ -99,6 +118,13 @@ fn parse_args() -> Args {
                     usage()
                 }
             }
+            "--churn" => {
+                args.churn = val("--churn")
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--exhaustive-checks" => args.exhaustive_checks = true,
             "--json" => args.json = Some(val("--json")),
             "--sim-json" => args.sim_json = Some(val("--sim-json")),
             "--quiet" => args.quiet = true,
@@ -116,6 +142,37 @@ struct Point {
     totals: RunTotals,
     threads: Vec<usize>,
     timings: Vec<RunTiming>,
+    /// Churn points carry measured join-cost columns (batched and solo).
+    churn: Option<ChurnCols>,
+}
+
+/// Measured join cost of one churn point, batched vs the solo baseline.
+struct ChurnCols {
+    joins_ok: u64,
+    /// Mean `join.messages` per completed join under coalescing.
+    join_msgs_mean: f64,
+    waves: u64,
+    mean_batch: f64,
+    seq_joins_ok: u64,
+    /// The same schedule through the classic solo path.
+    seq_join_msgs_mean: f64,
+    /// The solo sibling's full report (for `--sim-json`).
+    seq_report: ScenarioReport,
+}
+
+/// Sum a named counter across every phase of a report.
+fn counter_total(r: &ScenarioReport, name: &str) -> u64 {
+    r.phases.iter().filter_map(|p| p.counters.get(name)).sum()
+}
+
+/// Joins completed across every phase.
+fn joins_total(r: &ScenarioReport) -> u64 {
+    r.phases.iter().map(|p| p.churn.joins_ok).sum()
+}
+
+/// Mean `join.messages` per completed join (0 when no join completed).
+fn join_msgs_mean(r: &ScenarioReport) -> f64 {
+    tapestry_membership::mean_messages_per_join(counter_total(r, "join.messages"), joins_total(r))
 }
 
 fn join_f3(vals: impl Iterator<Item = f64>) -> String {
@@ -127,9 +184,24 @@ fn join_f3(vals: impl Iterator<Item = f64>) -> String {
 /// scenario reports, minus the machine-independence guarantee — wall
 /// clock is the point here). Per-thread-count measurements are parallel
 /// arrays under `threads` / `wall_secs` / `bootstrap_secs` /
-/// `events_per_sec`.
+/// `events_per_sec`; churn points append a deterministic `churn` object
+/// with the batched/solo join-cost columns.
 fn point_json(p: &Point, ops: u64, seed: u64) -> String {
     let r = &p.report;
+    let churn = match &p.churn {
+        None => String::new(),
+        Some(c) => format!(
+            ",\"churn\":{{\"joins_ok\":{},\"join_msgs_mean\":{:.3},\
+             \"waves\":{},\"mean_batch\":{:.3},\
+             \"joins_ok_seq\":{},\"join_msgs_mean_seq\":{:.3}}}",
+            c.joins_ok,
+            c.join_msgs_mean,
+            c.waves,
+            c.mean_batch,
+            c.seq_joins_ok,
+            c.seq_join_msgs_mean,
+        ),
+    };
     format!(
         "{{\"nodes\":{},\"space\":\"{}\",\"seed\":{},\"ops\":{},\
          \"threads\":[{}],\"wall_secs\":[{}],\"bootstrap_secs\":[{}],\
@@ -137,7 +209,7 @@ fn point_json(p: &Point, ops: u64, seed: u64) -> String {
          \"messages\":{},\"timers\":{},\"peak_table_entries\":{},\
          \"issued\":{},\"found_live\":{},\"lost\":{},\
          \"latency_p50\":{:.3},\"latency_p99\":{:.3},\
-         \"hops_p50\":{:.3},\"hops_p99\":{:.3}}}",
+         \"hops_p50\":{:.3},\"hops_p99\":{:.3}{churn}}}",
         r.initial_nodes,
         r.space,
         seed,
@@ -167,11 +239,18 @@ fn point_json(p: &Point, ops: u64, seed: u64) -> String {
 fn main() {
     let args = parse_args();
     let mut points = Vec::new();
+    let finish = |spec: tapestry_workload::ScenarioSpec| {
+        if args.exhaustive_checks {
+            spec.exhaustive_checks()
+        } else {
+            spec
+        }
+    };
     for &space in &args.spaces {
         for &n in &args.nodes {
             let mut point: Option<Point> = None;
             for &threads in &args.threads {
-                let spec = scale_preset(n, args.ops, args.seed, space, threads);
+                let spec = finish(scale_preset(n, args.ops, args.seed, space, threads));
                 let (report, totals, timing) = match runner::run_timed(&spec) {
                     Ok(x) => x,
                     Err(e) => {
@@ -186,6 +265,7 @@ fn main() {
                             totals,
                             threads: vec![threads],
                             timings: vec![timing],
+                            churn: None,
                         })
                     }
                     Some(p) => {
@@ -205,6 +285,66 @@ fn main() {
             }
             points.push(point.expect("at least one thread count"));
         }
+    }
+
+    // Churn trajectory points: the batched run per thread count (with the
+    // same determinism gate), then the solo-join baseline once, reported
+    // side by side.
+    for &n in &args.churn {
+        let mut point: Option<Point> = None;
+        for &threads in &args.threads {
+            let spec = finish(churn_scale_preset(n, args.ops, args.seed, threads, true));
+            let (report, totals, timing) = match runner::run_timed(&spec) {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("churn-scale({n}): {e}");
+                    std::process::exit(1)
+                }
+            };
+            match &mut point {
+                None => {
+                    point = Some(Point {
+                        report,
+                        totals,
+                        threads: vec![threads],
+                        timings: vec![timing],
+                        churn: None,
+                    })
+                }
+                Some(p) => {
+                    if p.report.to_json() != report.to_json() || p.totals != totals {
+                        eprintln!(
+                            "churn-scale({n}): report diverged between --threads {} and {threads}",
+                            p.threads[0]
+                        );
+                        std::process::exit(1)
+                    }
+                    p.threads.push(threads);
+                    p.timings.push(timing);
+                }
+            }
+        }
+        let mut point = point.expect("at least one thread count");
+        let seq_spec = finish(churn_scale_preset(n, args.ops, args.seed, args.threads[0], false));
+        let seq_report = match runner::run(&seq_spec) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("churn-scale-seq({n}): {e}");
+                std::process::exit(1)
+            }
+        };
+        let waves = counter_total(&point.report, "multicast.batch_waves");
+        let batch_joins = counter_total(&point.report, "multicast.batch_joins");
+        point.churn = Some(ChurnCols {
+            joins_ok: joins_total(&point.report),
+            join_msgs_mean: join_msgs_mean(&point.report),
+            waves,
+            mean_batch: if waves == 0 { 0.0 } else { batch_joins as f64 / waves as f64 },
+            seq_joins_ok: joins_total(&seq_report),
+            seq_join_msgs_mean: join_msgs_mean(&seq_report),
+            seq_report,
+        });
+        points.push(point);
     }
 
     if !args.quiet {
@@ -230,6 +370,21 @@ fn main() {
                 ]);
             }
         }
+        for p in &points {
+            if let Some(c) = &p.churn {
+                println!(
+                    "churn-scale {}: batched {} joins, {:.1} msgs/join mean \
+                     ({} waves, mean batch {:.1}) | solo {} joins, {:.1} msgs/join mean",
+                    p.report.initial_nodes,
+                    c.joins_ok,
+                    c.join_msgs_mean,
+                    c.waves,
+                    c.mean_batch,
+                    c.seq_joins_ok,
+                    c.seq_join_msgs_mean,
+                );
+            }
+        }
     }
 
     let json = format!(
@@ -242,12 +397,17 @@ fn main() {
         None => {}
     }
     if let Some(path) = &args.sim_json {
-        // The machine-independent half: full deterministic reports, for
-        // same-seed determinism gating in CI.
-        let sim = format!(
-            "[{}]",
-            points.iter().map(|p| p.report.to_json()).collect::<Vec<_>>().join(",")
-        );
-        std::fs::write(path, sim).expect("write deterministic sim json");
+        // The machine-independent half: full deterministic reports (for
+        // churn points, the solo sibling too) for same-seed determinism
+        // gating in CI.
+        let mut reports: Vec<String> = Vec::new();
+        for p in &points {
+            reports.push(p.report.to_json());
+            if let Some(c) = &p.churn {
+                reports.push(c.seq_report.to_json());
+            }
+        }
+        std::fs::write(path, format!("[{}]", reports.join(",")))
+            .expect("write deterministic sim json");
     }
 }

@@ -46,6 +46,12 @@ pub struct TapestryConfig {
     pub list_size_k: Option<usize>,
     /// Number of roots per object, `|R_Φ|` (Observation 2 multi-root).
     pub roots_per_object: usize,
+    /// Acknowledged-multicast fan-out bound: at most this many *unpinned*
+    /// child branches are forwarded per level (lowest digits first), the
+    /// remainder deferred to soft-state repair (probe/optimize rounds).
+    /// `None` (the default) forwards every branch — the paper's exact
+    /// §4.1 behaviour. Pinned branches are always forwarded (§4.4).
+    pub multicast_fanout: Option<usize>,
     /// Lifetime of a published object pointer before it must be
     /// republished (soft state, §2.2).
     pub pointer_ttl: SimTime,
@@ -100,6 +106,7 @@ impl Default for TapestryConfig {
             redundancy: 3,
             list_size_k: None,
             roots_per_object: 1,
+            multicast_fanout: None,
             // Effectively "until republished": deployments that enable the
             // republish timer should lower this to ~2× the interval so
             // stale pointers actually lapse (§2.2 soft state). The default

@@ -1,6 +1,17 @@
 //! Node insertion (§3–§4): surrogate discovery, preliminary table copy,
 //! acknowledged multicast, and the distributed nearest-neighbor
 //! neighbor-table construction of Fig. 4.
+//!
+//! Every protocol message belonging to an insertion (surrogate
+//! discovery hops, table copy, multicast wave, `SendID`/`Candidates`
+//! reports, `GetNextList` pointer fetches, root transfers and acks) also
+//! bumps the `join.messages` counter, so drivers can report a measured
+//! mean messages/join figure. Opportunistic backpointer maintenance
+//! (`AddedYou` / `RemovedYou` out of `consider_neighbor`) is deliberately
+//! excluded — it is shared with every flow that touches a routing
+//! table — with one exception: the `AddedYou` a multicast recipient
+//! sends when *pinning* the insertee (§4.4) is counted, because that
+//! pin is a mandatory step of the wave protocol itself.
 
 use crate::messages::{Msg, OpId, RoutedKind, RoutedMsg, Timer};
 use crate::node::{InsertState, NodeStatus, TapestryNode};
@@ -10,7 +21,14 @@ use tapestry_sim::{Ctx, NodeIdx};
 
 impl TapestryNode {
     /// Fig. 7, step 1: find the primary surrogate through any gateway.
-    pub(crate) fn start_insert(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, gateway: NodeRef) {
+    /// In `deferred` mode (batched joins) the protocol pauses after step
+    /// 3 until the driver launches a shared multicast wave.
+    pub(crate) fn start_insert(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, Timer>,
+        gateway: NodeRef,
+        deferred: bool,
+    ) {
         debug_assert_eq!(self.status, NodeStatus::Inserting);
         let op = self.next_op();
         self.insert = Some(InsertState {
@@ -23,6 +41,8 @@ impl TapestryNode {
             pending: BTreeSet::new(),
             acc: Vec::new(),
             k: self.cfg.k_for(8), // refined when the surrogate answers
+            deferred,
+            ready: None,
         });
         let m = RoutedMsg {
             kind: RoutedKind::FindSurrogate { reply_to: self.me, op },
@@ -36,6 +56,7 @@ impl TapestryNode {
             local_branch: false,
         };
         ctx.count("insert.started", 1);
+        ctx.count("join.messages", 1);
         ctx.send(gateway.idx, Msg::Routed(m));
     }
 
@@ -52,6 +73,7 @@ impl TapestryNode {
         }
         ins.surrogate = Some(surrogate);
         ins.shared_len = self.me.id.shared_prefix_len(&surrogate.id);
+        ctx.count("join.messages", 1);
         ctx.send(surrogate.idx, Msg::GetTableCopy { op, new_node: self.me });
     }
 
@@ -65,6 +87,7 @@ impl TapestryNode {
         let mut refs = self.table.all_refs();
         refs.push(self.me);
         let shared_len = self.me.id.shared_prefix_len(&new_node.id);
+        ctx.count("join.messages", 1);
         ctx.send(new_node.idx, Msg::TableCopy { op, refs, shared_len });
     }
 
@@ -104,7 +127,15 @@ impl TapestryNode {
         }
         let surrogate = ins.surrogate.expect("surrogate known");
         let prefix = self.me.id.prefix(shared_len);
-        ctx.send(surrogate.idx, Msg::StartMulticast { op, prefix, new_node: self.me, watch });
+        if ins.deferred {
+            // Batched mode: report readiness to the driver (which reads it
+            // through `batch_join_ready`) instead of starting a solo wave.
+            ins.ready = Some((prefix, watch));
+            ctx.count("insert.batch_ready", 1);
+        } else {
+            ctx.count("join.messages", 1);
+            ctx.send(surrogate.idx, Msg::StartMulticast { op, prefix, new_node: self.me, watch });
+        }
     }
 
     /// A multicast recipient announced itself (`SendID`): it belongs to
@@ -179,6 +210,7 @@ impl TapestryNode {
         }
         for &t in &ins.pending {
             ctx.count("insert.getptr", 1);
+            ctx.count("join.messages", 1);
             ctx.send(t, Msg::GetPointers { op, level, new_node: me });
         }
         ctx.set_timer(timeout, Timer::InsertLevelTimeout { op, level });
@@ -204,6 +236,7 @@ impl TapestryNode {
         );
         refs.sort();
         refs.dedup();
+        ctx.count("join.messages", 1);
         ctx.send(new_node.idx, Msg::Pointers { op, level, refs });
     }
 

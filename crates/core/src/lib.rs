@@ -44,10 +44,10 @@ mod routing_table;
 pub mod wire;
 
 pub use config::{RoutingScheme, TapestryConfig};
-pub use messages::{Msg, OpId, RoutedKind, RoutedMsg, Timer, WirePtr};
+pub use messages::{BatchInsertee, Msg, OpId, RoutedKind, RoutedMsg, Timer, WirePtr};
 pub use neighbor_set::{AddOutcome, NeighborSet};
 pub use network::{LocateHook, LocateResult, NetworkSnapshot, TapestryNetwork};
-pub use node::{NodeStatus, TapestryNode};
+pub use node::{BatchJoinInfo, NodeStatus, TapestryNode};
 pub use object_store::{ObjectStore, PtrEntry};
 pub use refs::NodeRef;
 pub use routing_table::{Hop, RoutingTable, TableAddOutcome};

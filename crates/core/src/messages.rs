@@ -82,6 +82,25 @@ pub enum RoutedKind {
     },
 }
 
+/// One member of a coalesced join batch as carried by the shared
+/// acknowledged-multicast wave (§4.4 generalized: the wave's FUNCTION is
+/// applied once per insertee at every recipient the insertee's coverage
+/// prefix matches).
+#[derive(Debug, Clone)]
+pub struct BatchInsertee {
+    /// The insertee's insertion op (Hellos, Candidates and the final
+    /// `MulticastDone` are tagged with it, exactly as in a solo wave).
+    pub op: OpId,
+    /// The node being inserted.
+    pub new_node: NodeRef,
+    /// Coverage this insertee requires: the GCP of insertee and surrogate
+    /// (a solo multicast covers exactly `G(prefix)`; within a shared wave
+    /// recipients outside `prefix` skip this insertee's FUNCTION).
+    pub prefix: Prefix,
+    /// Remaining watched holes (Fig. 11), per insertee.
+    pub watch: Vec<(usize, u8)>,
+}
+
 /// A published object pointer in flight (used by transfer/optimize flows).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WirePtr {
@@ -122,6 +141,33 @@ pub enum Msg {
     StartInsert {
         /// Any existing member of the network.
         gateway: NodeRef,
+    },
+    /// Driver → new node: begin inserting via `gateway`, but stop after
+    /// Fig. 7 step 3 (surrogate found, preliminary table absorbed) and
+    /// wait for the driver to launch a *shared* multicast wave — the
+    /// batched-join entry point of `tapestry-membership`.
+    StartInsertDeferred {
+        /// Any existing member of the network.
+        gateway: NodeRef,
+    },
+    /// Driver → wave initiator: run one acknowledged multicast carrying a
+    /// whole coalesced join batch (§4.4's simultaneous-insertion
+    /// machinery, amortized: one spanning tree serves every insertee).
+    StartBatchMulticast {
+        /// The coalesced batch, in coalescer admission order.
+        insertees: Vec<BatchInsertee>,
+    },
+    /// The shared wave proper: one branch of the batch multicast tree.
+    BatchMulticast {
+        /// Wave session op (allocated by the initiator; distinct from the
+        /// per-insertee insertion ops).
+        op: OpId,
+        /// Prefix this branch covers (the common prefix of the batch's
+        /// coverage prefixes at the root, extended per branch).
+        prefix: Prefix,
+        /// The batch, with per-insertee watch lists stripped of entries
+        /// already served upstream.
+        insertees: Vec<BatchInsertee>,
     },
     /// New node → surrogate: request a copy of the routing table
     /// (`GetPrelimNeighborTable`).
@@ -371,6 +417,15 @@ pub enum Timer {
     ProbeDeadline {
         /// Nonce of the probe round.
         nonce: u64,
+    },
+    /// Deadline for a shared wave's child acknowledgments (batched joins
+    /// only): a child killed mid-wave would otherwise strand the whole
+    /// batch, so the session force-completes and the unreached subtree
+    /// is deferred to soft-state repair — the same degradation the
+    /// fan-out bound deliberately accepts. Solo waves are untouched.
+    McastDeadline {
+        /// Wave session op.
+        op: OpId,
     },
 }
 

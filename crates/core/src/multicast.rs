@@ -8,8 +8,27 @@
 //! The collapsed self-sends of the paper's description are performed
 //! in-place here, so the message tree is exactly the spanning tree the
 //! paper derives (`k − 1` edges for `k` recipients).
+//!
+//! Two extensions ride on the same tree:
+//!
+//! * **Shared waves** (`BatchMulticast`): a coalesced join batch travels
+//!   as *one* wave whose prefix is the common prefix of the batch's
+//!   coverage prefixes; each recipient applies the per-insertee FUNCTION
+//!   (SendID, pin, watch scan, `LinkAndXferRoot`) only for insertees
+//!   whose own coverage prefix it matches — so every insertee sees
+//!   exactly the recipients its solo multicast would have reached, while
+//!   the batch shares one spanning tree and one ack sweep. Correctness
+//!   rests on the §4.4 machinery unchanged: insertees are pinned for the
+//!   wave's duration and concurrent insertees are reported through the
+//!   Fig. 11 watch lists.
+//! * **Fan-out bound** (`TapestryConfig::multicast_fanout`): when set,
+//!   each recipient forwards to at most that many unpinned child
+//!   branches per level and defers the rest (counted in
+//!   `multicast.fanout_deferred`) to soft-state repair — the deferred
+//!   subtrees learn the insertee through later probe/optimize rounds and
+//!   ordinary traffic instead of the wave.
 
-use crate::messages::{Msg, OpId, Timer, WirePtr};
+use crate::messages::{BatchInsertee, Msg, OpId, Timer, WirePtr};
 use crate::node::{McastSession, TapestryNode};
 use crate::refs::NodeRef;
 use tapestry_id::Prefix;
@@ -47,6 +66,7 @@ impl TapestryNode {
             // Duplicate (pinned-pointer forwarding can deliver a session
             // twice); the function already ran here — acknowledge so the
             // sender's count stays correct.
+            ctx.count("join.messages", 1);
             ctx.send(from, Msg::MulticastAck { op });
             return;
         }
@@ -67,31 +87,26 @@ impl TapestryNode {
         ctx.count("multicast.recipients", 1);
         // ---- apply FUNCTION: SendID + pin + watch scan + LinkAndXferRoot
         if new_node.idx != self.me.idx {
-            ctx.send(new_node.idx, Msg::Hello { op, me: self.me });
-            // Pin the new node in its slot for the duration of the session
-            // (§4.4): it must not be evicted, and further multicasts
-            // through the slot must reach it.
-            let dist = ctx.distance_to(new_node.idx);
-            self.table.add_pinned(new_node, dist);
-            ctx.send(new_node.idx, Msg::AddedYou { me: self.me });
-            self.link_and_xfer_root(ctx, new_node);
-            // A concurrently inserting node may be exactly the filler some
-            // earlier watcher is still waiting for (§4.4).
-            self.notify_watchers(ctx, new_node);
+            self.apply_wave_function(ctx, op, new_node);
         }
         let watch = self.serve_watch_list(ctx, new_node, op, watch);
 
         // ---- forward along one unpinned + all pinned pointers per child
         let mut children: Vec<(Prefix, NodeRef)> = Vec::new();
-        self.gather_children(prefix, &mut children);
+        let deferred = self.gather_children(prefix, &mut children);
+        if deferred > 0 {
+            ctx.count("multicast.fanout_deferred", deferred);
+        }
         children.retain(|(_, r)| r.idx != self.me.idx && r.idx != new_node.idx);
         children.sort_by_key(|(_, r)| r.idx);
         children.dedup_by_key(|(_, r)| r.idx);
 
         let pending = children.len();
-        self.mcast.insert(op, McastSession { parent, pending, new_node });
+        self.mcast
+            .insert(op, McastSession { parent, pending, insertees: vec![(op, new_node, true)] });
         for (p, r) in children {
             ctx.count("multicast.edges", 1);
+            ctx.count("join.messages", 1);
             ctx.send(r.idx, Msg::Multicast { op, prefix: p, new_node, hole, watch: watch.clone() });
         }
         if pending == 0 {
@@ -99,14 +114,178 @@ impl TapestryNode {
         }
     }
 
+    /// The per-insertee half of the multicast FUNCTION: `SendID`, pin the
+    /// insertee in its slot for the session's duration (§4.4 — it must
+    /// not be evicted, and further multicasts through the slot must reach
+    /// it), `LinkAndXferRoot`, and the Fig. 11 concurrent-insertee report
+    /// (a new insertee may be exactly the filler some earlier watcher is
+    /// still waiting for). Shared verbatim by solo and batched waves so
+    /// the two paths cannot drift.
+    fn apply_wave_function(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, op: OpId, new_node: NodeRef) {
+        ctx.count("join.messages", 2);
+        ctx.send(new_node.idx, Msg::Hello { op, me: self.me });
+        let dist = ctx.distance_to(new_node.idx);
+        self.table.add_pinned(new_node, dist);
+        ctx.send(new_node.idx, Msg::AddedYou { me: self.me });
+        self.link_and_xfer_root(ctx, new_node);
+        self.notify_watchers(ctx, new_node);
+    }
+
+    /// Driver → wave initiator: one acknowledged multicast carrying a
+    /// whole coalesced join batch. The wave covers the common prefix of
+    /// the batch's coverage prefixes; co-insertees are introduced to each
+    /// other up front under the same coverage rule a solo wave applies
+    /// (insertee `a` hears `SendID` from everything `a.prefix` matches —
+    /// including concurrent insertees, per §4.4).
+    pub(crate) fn on_start_batch_multicast(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, Timer>,
+        insertees: Vec<BatchInsertee>,
+    ) {
+        if insertees.is_empty() {
+            return;
+        }
+        ctx.count("multicast.batch_waves", 1);
+        ctx.count("multicast.batch_joins", insertees.len() as u64);
+        for a in &insertees {
+            for b in &insertees {
+                if a.op != b.op && a.prefix.matches(&b.new_node.id) {
+                    ctx.count("join.messages", 1);
+                    ctx.send(a.new_node.idx, Msg::Hello { op: a.op, me: b.new_node });
+                }
+            }
+        }
+        let prefix = common_wave_prefix(&insertees);
+        let op = self.next_op();
+        self.run_batch(ctx, op, prefix, insertees, None);
+    }
+
+    /// A shared-wave branch arrived from `from`.
+    pub(crate) fn on_batch_multicast(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, Timer>,
+        from: NodeIdx,
+        op: OpId,
+        prefix: Prefix,
+        insertees: Vec<BatchInsertee>,
+    ) {
+        if self.mcast_done.contains(&op) || self.mcast.contains_key(&op) {
+            // Duplicate via pinned-pointer forwarding — ack and stop, as
+            // in the solo path.
+            ctx.count("join.messages", 1);
+            ctx.send(from, Msg::MulticastAck { op });
+            return;
+        }
+        self.run_batch(ctx, op, prefix, insertees, Some(from));
+    }
+
+    /// The shared-wave body: apply the FUNCTION per covered insertee, in
+    /// batch order, then forward one `BatchMulticast` per child branch of
+    /// the *wave* prefix and await Theorem 5 acks.
+    fn run_batch(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, Timer>,
+        op: OpId,
+        prefix: Prefix,
+        insertees: Vec<BatchInsertee>,
+        parent: Option<NodeIdx>,
+    ) {
+        ctx.count("multicast.recipients", 1);
+        ctx.count("multicast.batch_insertees", insertees.len() as u64);
+        let mut fwd: Vec<BatchInsertee> = Vec::with_capacity(insertees.len());
+        let mut session: Vec<(OpId, NodeRef, bool)> = Vec::with_capacity(insertees.len());
+        for ins in &insertees {
+            let covered = ins.prefix.matches(&self.me.id);
+            session.push((ins.op, ins.new_node, covered));
+            if !covered {
+                // Outside this insertee's coverage: a solo wave for it
+                // would never have reached this node — pass it along for
+                // deeper branches that may match, untouched.
+                fwd.push(ins.clone());
+                continue;
+            }
+            if ins.new_node.idx != self.me.idx {
+                self.apply_wave_function(ctx, ins.op, ins.new_node);
+            }
+            let watch = self.serve_watch_list(ctx, ins.new_node, ins.op, ins.watch.clone());
+            fwd.push(BatchInsertee { watch, ..ins.clone() });
+        }
+
+        let mut children: Vec<(Prefix, NodeRef)> = Vec::new();
+        let deferred = self.gather_children(prefix, &mut children);
+        if deferred > 0 {
+            ctx.count("multicast.fanout_deferred", deferred);
+        }
+        children
+            .retain(|(_, r)| r.idx != self.me.idx && !fwd.iter().any(|i| i.new_node.idx == r.idx));
+        children.sort_by_key(|(_, r)| r.idx);
+        children.dedup_by_key(|(_, r)| r.idx);
+        // Prune: a branch is forwarded only with — and only because of —
+        // the insertees whose coverage is prefix-compatible with it, so
+        // the wave tree is exactly the *union* of the solo trees the
+        // batch replaces (one shared trunk, no ε-explosion when the
+        // batch's common prefix collapses), and every node in any
+        // insertee's `G(prefix)` is still reached (its whole prefix
+        // chain is compatible by construction).
+        let branches: Vec<(Prefix, NodeRef, Vec<BatchInsertee>)> = children
+            .into_iter()
+            .filter_map(|(p, r)| {
+                let carry: Vec<BatchInsertee> = fwd
+                    .iter()
+                    .filter(|i| i.prefix.contains(&p) || p.contains(&i.prefix))
+                    .cloned()
+                    .collect();
+                (!carry.is_empty()).then_some((p, r, carry))
+            })
+            .collect();
+
+        let pending = branches.len();
+        self.mcast.insert(op, McastSession { parent, pending, insertees: session });
+        for (p, r, carry) in branches {
+            ctx.count("multicast.edges", 1);
+            ctx.count("join.messages", 1);
+            ctx.send(r.idx, Msg::BatchMulticast { op, prefix: p, insertees: carry });
+        }
+        if pending == 0 {
+            self.complete_session(ctx, op);
+        } else {
+            // A child killed mid-wave would strand every join in the
+            // batch behind its missing ack; force-complete after a few
+            // level deadlines and leave the unreached subtree to repair.
+            let deadline = tapestry_sim::SimTime(self.cfg.insert_level_timeout.0.saturating_mul(4));
+            ctx.set_timer(deadline, Timer::McastDeadline { op });
+        }
+    }
+
+    /// A shared wave's ack deadline fired: if the session is still open,
+    /// some child subtree is gone — complete anyway (acking upward /
+    /// reporting `MulticastDone`) so the batch's joins proceed, and let
+    /// soft-state repair reintroduce whatever the lost subtree missed.
+    pub(crate) fn on_mcast_deadline(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, op: OpId) {
+        if self.mcast.contains_key(&op) {
+            ctx.count("multicast.deadline_forced", 1);
+            self.complete_session(ctx, op);
+        }
+    }
+
     /// Walk the routing table gathering one recipient per one-digit
     /// extension, recursing through extensions where this node is itself
     /// the chosen representative (the paper's self-sends, collapsed).
-    fn gather_children(&self, prefix: Prefix, out: &mut Vec<(Prefix, NodeRef)>) {
+    ///
+    /// With `TapestryConfig::multicast_fanout` set, at most that many
+    /// *unpinned* child branches are forwarded per level (lowest digits
+    /// first — deterministic); the return value counts branches deferred
+    /// to soft-state repair. Pinned entries are always forwarded: §4.4
+    /// requires every multicast through a pinned slot to reach the
+    /// in-flight insertee, bound or no bound.
+    fn gather_children(&self, prefix: Prefix, out: &mut Vec<(Prefix, NodeRef)>) -> u64 {
         let l = prefix.len();
         if l >= self.table.levels() {
-            return;
+            return 0;
         }
+        let bound = self.cfg.multicast_fanout.unwrap_or(usize::MAX);
+        let mut width = 0usize;
+        let mut deferred = 0u64;
         for j in 0..self.table.base() as u8 {
             let slot = self.table.slot(l, j);
             if slot.is_empty() {
@@ -114,8 +293,15 @@ impl TapestryNode {
             }
             let ext = prefix.extend(j);
             match slot.first_unpinned() {
-                Some(u) if u.idx == self.me.idx => self.gather_children(ext, out),
-                Some(u) => out.push((ext, u)),
+                Some(u) if u.idx == self.me.idx => deferred += self.gather_children(ext, out),
+                Some(u) => {
+                    if width < bound {
+                        out.push((ext, u));
+                        width += 1;
+                    } else {
+                        deferred += 1;
+                    }
+                }
                 None => {}
             }
             for p in slot.pinned() {
@@ -124,6 +310,7 @@ impl TapestryNode {
                 }
             }
         }
+        deferred
     }
 
     /// Fig. 11 watch list: report nodes that fill the new node's watched
@@ -172,6 +359,7 @@ impl TapestryNode {
         if !found.is_empty() {
             found.sort();
             found.dedup();
+            ctx.count("join.messages", 1);
             ctx.send(new_node.idx, Msg::Candidates { op, refs: found });
         }
         remaining
@@ -209,6 +397,7 @@ impl TapestryNode {
         }
         if !ptrs.is_empty() {
             ctx.count("insert.root_transfers", ptrs.len() as u64);
+            ctx.count("join.messages", 1);
             ctx.send(new_node.idx, Msg::TransferPtrs { ptrs, from: self.me });
         }
     }
@@ -230,16 +419,83 @@ impl TapestryNode {
     fn complete_session(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, op: OpId) {
         let Some(s) = self.mcast.remove(&op) else { return };
         self.mcast_done.insert(op);
-        // Unpin: the session is acknowledged here, so the new node is now
-        // reachable through the regular multicast tree.
-        self.table.unpin(&s.new_node);
-        // `add_pinned` placed the new node in its divergence slot only;
-        // re-offer it through the regular path so it also gains its nested
-        // own-digit memberships (§2.1) now that the session is over.
-        self.consider_neighbor(ctx, s.new_node);
-        match s.parent {
-            Some(p) => ctx.send(p, Msg::MulticastAck { op }),
-            None => ctx.send(s.new_node.idx, Msg::MulticastDone { op }),
+        for &(_, new_node, covered) in &s.insertees {
+            if !covered {
+                continue; // never pinned here; leave no trace
+            }
+            // Unpin: the session is acknowledged here, so the insertee is
+            // now reachable through the regular multicast tree.
+            self.table.unpin(&new_node);
+            // `add_pinned` placed the insertee in its divergence slot
+            // only; re-offer it through the regular path so it also gains
+            // its nested own-digit memberships (§2.1) now that the
+            // session is over.
+            self.consider_neighbor(ctx, new_node);
         }
+        match s.parent {
+            Some(p) => {
+                ctx.count("join.messages", 1);
+                ctx.send(p, Msg::MulticastAck { op });
+            }
+            None => {
+                // The initiator: report completion to every insertee —
+                // covered or not — under its own insertion op (Theorem 6:
+                // core nodes from this instant).
+                for &(iop, new_node, _) in &s.insertees {
+                    ctx.count("join.messages", 1);
+                    ctx.send(new_node.idx, Msg::MulticastDone { op: iop });
+                }
+            }
+        }
+    }
+}
+
+/// The longest prefix every insertee's coverage prefix extends — the
+/// prefix one shared wave must cover so each insertee still reaches all
+/// of its own `G(prefix)` (usually ε once a batch mixes first digits).
+fn common_wave_prefix(insertees: &[BatchInsertee]) -> Prefix {
+    let first = insertees[0].prefix;
+    let mut len = first.len();
+    for ins in &insertees[1..] {
+        let p = ins.prefix;
+        let mut l = 0;
+        while l < len.min(p.len()) && first.digit(l) == p.digit(l) {
+            l += 1;
+        }
+        len = l;
+    }
+    let mut out = Prefix::empty(first.base());
+    for l in 0..len {
+        out = out.extend(first.digit(l));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::OpId;
+    use tapestry_id::{Id, IdSpace};
+
+    fn insertee(v: u64, plen: usize) -> BatchInsertee {
+        let id = Id::from_u64(IdSpace::base16(), v);
+        BatchInsertee {
+            op: OpId::new(0, v),
+            new_node: NodeRef::new(v as usize, id),
+            prefix: id.prefix(plen),
+            watch: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn common_wave_prefix_is_shared_head() {
+        // 0x4227… and 0x42A2… share "42"; adding 0x9000… collapses to ε.
+        let two = [insertee(0x4227_0000, 3), insertee(0x42A2_0000, 3)];
+        assert_eq!(format!("{}", common_wave_prefix(&two)), "42");
+        let three = [insertee(0x4227_0000, 3), insertee(0x42A2_0000, 3), insertee(0x9000_0000, 2)];
+        assert!(common_wave_prefix(&three).is_empty());
+        // A singleton batch keeps its full coverage prefix.
+        let one = [insertee(0x4227_0000, 4)];
+        assert_eq!(format!("{}", common_wave_prefix(&one)), "4227");
     }
 }

@@ -585,6 +585,13 @@ impl TapestryNetwork {
     /// Start a dynamic insertion without draining (simultaneous-insertion
     /// experiments drive several of these at once).
     pub fn insert_node_via(&mut self, idx: NodeIdx, gateway: NodeIdx) {
+        self.admit_inserting(idx, gateway, false);
+    }
+
+    /// Shared admission step of the solo and deferred join paths: place
+    /// the inserting actor (with `k` frozen for the current population)
+    /// and kick off Fig. 7 via `gateway`.
+    fn admit_inserting(&mut self, idx: NodeIdx, gateway: NodeIdx, deferred: bool) {
         assert!(!self.engine.alive(idx), "point already occupied");
         assert!(self.engine.alive(gateway), "gateway not alive");
         let mut cfg = self.cfg;
@@ -593,7 +600,44 @@ impl TapestryNetwork {
         }
         let node = TapestryNode::new_inserting(cfg, self.ref_of(idx), self.seed);
         self.engine.add_node(idx, node);
-        self.engine.inject(idx, Msg::StartInsert { gateway: self.ref_of(gateway) });
+        let gateway = self.ref_of(gateway);
+        let start = if deferred {
+            Msg::StartInsertDeferred { gateway }
+        } else {
+            Msg::StartInsert { gateway }
+        };
+        self.engine.inject(idx, start);
+    }
+
+    /// Start a *deferred* dynamic insertion: Fig. 7 steps 1–3 run (the
+    /// node finds its surrogate and absorbs the preliminary table), then
+    /// the protocol pauses until a shared multicast wave is launched with
+    /// [`TapestryNetwork::launch_batch_multicast`] — the batched-join
+    /// entry point used by `tapestry-membership`.
+    pub fn insert_node_deferred(&mut self, idx: NodeIdx, gateway: NodeIdx) {
+        self.admit_inserting(idx, gateway, true);
+    }
+
+    /// If the deferred insertee at `idx` has finished Fig. 7 steps 1–3,
+    /// everything a wave needs to carry it (its op, surrogate, coverage
+    /// prefix and Fig. 11 watch list).
+    pub fn batch_join_ready(&self, idx: NodeIdx) -> Option<crate::node::BatchJoinInfo> {
+        self.engine.node(idx).and_then(|n| n.batch_join_ready())
+    }
+
+    /// Launch one shared acknowledged-multicast wave carrying a coalesced
+    /// join batch, initiated at `initiator` (canonically the first
+    /// insertee's surrogate). Each insertee's `MulticastDone` arrives
+    /// exactly as in a solo insertion; completion is then observed via
+    /// [`TapestryNetwork::finish_insert_bookkeeping`].
+    pub fn launch_batch_multicast(
+        &mut self,
+        initiator: NodeIdx,
+        insertees: Vec<crate::messages::BatchInsertee>,
+    ) {
+        assert!(self.engine.alive(initiator), "wave initiator not alive");
+        assert!(!insertees.is_empty(), "empty wave");
+        self.engine.inject(initiator, Msg::StartBatchMulticast { insertees });
     }
 
     /// After draining, account a dynamically inserted node as a member if
@@ -970,6 +1014,22 @@ impl TapestryNetwork {
     /// Returns the set of distinct roots observed (singleton = pass).
     pub fn distinct_roots(&self, target: &Id) -> BTreeSet<NodeIdx> {
         self.members.iter().map(|&m| self.root_from(m, target)).collect()
+    }
+
+    /// [`TapestryNetwork::distinct_roots`] over a deterministic sample of
+    /// at most `max_members` members (an even stride over the sorted
+    /// member list, always including the first member). Each walk is
+    /// O(hops), so the exhaustive check is O(n · hops) per target and
+    /// dominates checked phases past ~50k nodes; sampling keeps the
+    /// Theorem 2 spot-check affordable while still mixing starting points
+    /// across the whole index range. `max_members >= len` degenerates to
+    /// the exhaustive check.
+    pub fn distinct_roots_sampled(&self, target: &Id, max_members: usize) -> BTreeSet<NodeIdx> {
+        if self.members.len() <= max_members {
+            return self.distinct_roots(target);
+        }
+        let step = self.members.len().div_ceil(max_members.max(1));
+        self.members.iter().step_by(step).map(|&m| self.root_from(m, target)).collect()
     }
 
     /// Space accounting for Table 1.

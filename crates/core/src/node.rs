@@ -41,17 +41,48 @@ pub(crate) struct InsertState {
     pub acc: Vec<NodeRef>,
     /// List size `k` (fixed at insertion start).
     pub k: usize,
+    /// Deferred mode (`StartInsertDeferred`): stop after Fig. 7 step 3
+    /// and wait for the driver to launch a shared multicast wave.
+    pub deferred: bool,
+    /// Set when a deferred insert has finished steps 1–3: the coverage
+    /// prefix and watch list a shared wave must carry for this insertee.
+    pub ready: Option<(tapestry_id::Prefix, Vec<(usize, u8)>)>,
 }
 
-/// State of one acknowledged-multicast session on a participant.
+/// State of one acknowledged-multicast session on a participant. A solo
+/// insertion carries exactly one insertee; a shared wave carries the
+/// whole coalesced batch (same ack tree, same pin/unpin discipline).
 #[derive(Debug)]
 pub(crate) struct McastSession {
-    /// Where to send our ack (None = we initiated for the new node).
+    /// Where to send our ack (None = we initiated; completion reports
+    /// `MulticastDone` to every insertee instead).
     pub parent: Option<NodeIdx>,
     /// Outstanding child acknowledgments.
     pub pending: usize,
-    /// The node this multicast introduces.
+    /// The nodes this multicast introduces, as `(insertion op, node,
+    /// covered)`. `covered` records whether this participant matched the
+    /// insertee's coverage prefix (always true for a solo wave): only
+    /// covered insertees were pinned, so only they are unpinned and
+    /// re-offered at session end — an uncovered insertee must leave no
+    /// trace here, exactly as if its solo multicast had never arrived.
+    pub insertees: Vec<(OpId, NodeRef, bool)>,
+}
+
+/// What a deferred insertee reports once Fig. 7 steps 1–3 completed —
+/// everything a driver needs to place it into a shared multicast wave.
+#[derive(Debug, Clone)]
+pub struct BatchJoinInfo {
+    /// The insertee's insertion op.
+    pub op: OpId,
+    /// The insertee itself.
     pub new_node: NodeRef,
+    /// Its surrogate (the canonical wave initiator).
+    pub surrogate: NodeRef,
+    /// Coverage prefix the wave must reach for this insertee (the GCP of
+    /// insertee and surrogate — a solo multicast would cover exactly it).
+    pub prefix: tapestry_id::Prefix,
+    /// Watched holes for the Fig. 11 watch list.
+    pub watch: Vec<(usize, u8)>,
 }
 
 /// State of a voluntary departure on the departing node.
@@ -179,6 +210,24 @@ impl TapestryNode {
         self.leave.as_ref().is_some_and(|l| l.finished)
     }
 
+    /// If this node is a deferred insertee that finished Fig. 7 steps 1–3
+    /// and is waiting for a shared multicast wave, everything the driver
+    /// needs to include it in one.
+    pub fn batch_join_ready(&self) -> Option<BatchJoinInfo> {
+        if self.status != NodeStatus::Inserting {
+            return None;
+        }
+        let ins = self.insert.as_ref()?;
+        let (prefix, watch) = ins.ready.as_ref()?;
+        Some(BatchJoinInfo {
+            op: ins.op,
+            new_node: self.me,
+            surrogate: ins.surrogate?,
+            prefix: *prefix,
+            watch: watch.clone(),
+        })
+    }
+
     /// Drain completed locate operations.
     pub fn take_locate_results(&mut self) -> Vec<LocateResult> {
         std::mem::take(&mut self.locate_results)
@@ -248,6 +297,7 @@ impl TapestryNode {
             !fills
         });
         for (watcher, op) in served {
+            ctx.count("join.messages", 1);
             ctx.send(watcher.idx, Msg::Candidates { op, refs: vec![r] });
         }
     }
@@ -264,7 +314,12 @@ impl Actor for TapestryNode {
                 self.on_locate_done(ctx, op, server, hops, dist, reached_root)
             }
             Msg::SurrogateIs { op, surrogate } => self.on_surrogate_is(ctx, op, surrogate),
-            Msg::StartInsert { gateway } => self.start_insert(ctx, gateway),
+            Msg::StartInsert { gateway } => self.start_insert(ctx, gateway, false),
+            Msg::StartInsertDeferred { gateway } => self.start_insert(ctx, gateway, true),
+            Msg::StartBatchMulticast { insertees } => self.on_start_batch_multicast(ctx, insertees),
+            Msg::BatchMulticast { op, prefix, insertees } => {
+                self.on_batch_multicast(ctx, from, op, prefix, insertees)
+            }
             Msg::GetTableCopy { op, new_node } => self.on_get_table_copy(ctx, op, new_node),
             Msg::TableCopy { op, refs, shared_len } => {
                 self.on_table_copy(ctx, op, refs, shared_len)
@@ -331,6 +386,7 @@ impl Actor for TapestryNode {
             Timer::Heartbeat => self.on_heartbeat_timer(ctx),
             Timer::InsertLevelTimeout { op, level } => self.on_insert_timeout(ctx, op, level),
             Timer::ProbeDeadline { nonce } => self.on_probe_deadline(ctx, nonce),
+            Timer::McastDeadline { op } => self.on_mcast_deadline(ctx, op),
         }
     }
 }

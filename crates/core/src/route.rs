@@ -155,8 +155,12 @@ impl TapestryNode {
                 }
             }
             RoutedKind::FindSurrogate { reply_to, op } => match step {
-                Step::Forward(p, lvl, ph) => self.forward(ctx, m, p, lvl, ph),
+                Step::Forward(p, lvl, ph) => {
+                    ctx.count("join.messages", 1);
+                    self.forward(ctx, m, p, lvl, ph)
+                }
                 Step::LocalRoot | Step::Terminal => {
+                    ctx.count("join.messages", 1);
                     ctx.send(reply_to.idx, Msg::SurrogateIs { op, surrogate: self.me });
                 }
             },

@@ -264,3 +264,65 @@ fn insertion_cost_scales_polylogarithmically() {
     let large = cost(256, 31);
     assert!(large / small < 8.0 / 2.0, "insert cost grew too fast: {small} → {large} (8× nodes)");
 }
+
+#[test]
+fn fanout_bound_defers_branches_but_insertion_completes() {
+    // A bounded multicast forwards at most `multicast_fanout` unpinned
+    // branches per level; the rest are deferred to soft-state repair.
+    // The acknowledged tree still completes (Theorem 5's ack discipline
+    // only counts branches actually forwarded), so the join finishes.
+    let n = 64;
+    let cfg = TapestryConfig { multicast_fanout: Some(1), ..Default::default() };
+    let space = TorusSpace::random(n + 4, 1000.0, 77);
+    let mut net = TapestryNetwork::bootstrap(cfg, Box::new(space), 77, n);
+    for idx in n..n + 4 {
+        assert!(net.insert_node(idx), "bounded-fanout insert {idx} completes");
+    }
+    let deferred = net.engine().stats().get("multicast.fanout_deferred");
+    assert!(deferred > 0, "a width-1 bound must defer branches at 64 nodes");
+    // Deferred subtrees may hold Property 1 holes; a §6.4 optimization
+    // round plus a probe round is the designated repair path.
+    net.optimize_all();
+    net.probe_all();
+    let bad = net.check_property1();
+    assert!(
+        bad.len() < 8,
+        "repair should close almost every deferred hole, {} remain: {bad:?}",
+        bad.len()
+    );
+    // The unbounded default pays more multicast edges for the same joins.
+    let space2 = TorusSpace::random(n + 4, 1000.0, 77);
+    let mut unbounded =
+        TapestryNetwork::bootstrap(TapestryConfig::default(), Box::new(space2), 77, n);
+    for idx in n..n + 4 {
+        assert!(unbounded.insert_node(idx));
+    }
+    assert_eq!(unbounded.engine().stats().get("multicast.fanout_deferred"), 0);
+    assert!(
+        unbounded.engine().stats().get("multicast.edges")
+            >= net.engine().stats().get("multicast.edges"),
+        "the bound must not add edges"
+    );
+}
+
+#[test]
+fn join_message_accounting_tracks_insertions() {
+    // Every insertion bumps `join.messages`; quiet traffic does not.
+    let n = 48;
+    let space = TorusSpace::random(n + 2, 1000.0, 13);
+    let mut net = TapestryNetwork::bootstrap(TapestryConfig::default(), Box::new(space), 13, n);
+    assert_eq!(net.engine().stats().get("join.messages"), 0, "static bootstrap sends none");
+    let guid = net.random_guid();
+    net.publish(net.members()[0], guid);
+    net.locate(net.members()[5], guid);
+    assert_eq!(net.engine().stats().get("join.messages"), 0, "publish/locate are not joins");
+    let before = net.engine().stats().messages;
+    assert!(net.insert_node(n));
+    let join_msgs = net.engine().stats().get("join.messages");
+    let all_msgs = net.engine().stats().messages - before;
+    assert!(join_msgs > 0, "insertion must be accounted");
+    assert!(
+        join_msgs <= all_msgs,
+        "accounted join messages ({join_msgs}) cannot exceed actual sends ({all_msgs})"
+    );
+}

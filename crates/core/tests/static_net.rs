@@ -222,3 +222,24 @@ fn parallel_bootstrap_is_bit_identical_to_sequential() {
         assert_eq!(seq.check_property2(), par.check_property2(), "threads={threads}");
     }
 }
+
+#[test]
+fn sampled_distinct_roots_agree_with_exhaustive() {
+    let space = TorusSpace::random(200, 1000.0, 23);
+    let net = TapestryNetwork::build(TapestryConfig::default(), Box::new(space), 23);
+    for v in [0u64, 7, 0xDEAD_BEEF] {
+        let target = Id::from_u64(net.config().space, v);
+        let full = net.distinct_roots(&target);
+        // Under Theorem 2 the exhaustive set is a singleton, and any
+        // member sample must observe exactly that root.
+        assert_eq!(full.len(), 1, "Theorem 2 on the static build");
+        assert_eq!(net.distinct_roots_sampled(&target, 16), full, "sampled ⊆ agreed root");
+        // A cap at or above n degenerates to the exhaustive walk.
+        assert_eq!(net.distinct_roots_sampled(&target, 10_000), full);
+        // Sampling is deterministic.
+        assert_eq!(
+            net.distinct_roots_sampled(&target, 16),
+            net.distinct_roots_sampled(&target, 16)
+        );
+    }
+}

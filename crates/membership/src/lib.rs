@@ -1,0 +1,40 @@
+//! # tapestry-membership — dynamic-membership admission at scale
+//!
+//! The paper's §4 insertion algorithm pays one acknowledged multicast per
+//! join. Each wave covers `G(α)` for `α` = the GCP of insertee and
+//! surrogate — usually a handful of nodes in a healthy mesh, but up to
+//! the *whole network* when churn degrades Property 1 far enough that
+//! surrogate routing terminates early and `α` collapses toward ε. Either
+//! way, joins arriving close together each paid their own wave.
+//!
+//! This crate makes join admission a first-class subsystem:
+//!
+//! * [`JoinCoalescer`] — batches joins sharing a coalescing window into a
+//!   **single** acknowledged-multicast wave carrying the whole insertee
+//!   set. The correctness argument is the paper's own §4.4
+//!   simultaneous-insertion machinery (Fig. 11): insertees are pinned
+//!   for the wave's duration, concurrent insertees are reported through
+//!   held watch lists, and every insertee still hears `SendID` from
+//!   exactly the recipients its solo multicast would have reached (each
+//!   carries its own coverage prefix inside the shared wave). A batch of
+//!   size 1 reproduces the solo join bit-for-bit (see the byte-compare
+//!   test in `tests/batch_equivalence.rs`).
+//! * [`BatchPolicy`] — the batching window, batch-size cap and readiness
+//!   deadline. `BatchPolicy::disabled()` routes every join through the
+//!   classic solo path, untouched.
+//! * [`cost`] — join-cost accounting over the `join.messages` counter
+//!   that `tapestry-core` threads through the Figs. 4/7/8/11 protocol
+//!   messages, plus the churn sizing rule that replaces the old
+//!   hard-coded "churn only at toy sizes" ceiling with a cap derived
+//!   from *measured* mean messages/join.
+//!
+//! The related fan-out bound (`TapestryConfig::multicast_fanout`) lives
+//! in `tapestry-core`: it caps a wave's branch width per level and
+//! defers the remainder to soft-state repair (probe/optimize rounds),
+//! bounding worst-case wave cost even when `α = ε`.
+
+pub mod coalescer;
+pub mod cost;
+
+pub use coalescer::{BatchPolicy, CoalescerOutcome, JoinCoalescer};
+pub use cost::{churn_join_budget, max_churn_nodes, mean_messages_per_join};

@@ -7,6 +7,7 @@ use crate::churn::ChurnSpec;
 use crate::spec::{PhaseSpec, ScenarioSpec};
 use crate::traffic::{Arrival, Popularity};
 use tapestry_core::TapestryConfig;
+use tapestry_membership::{churn_join_budget, BatchPolicy};
 use tapestry_sim::SimTime;
 
 /// Every preset name, in report order.
@@ -20,6 +21,38 @@ pub const PRESET_NAMES: &[&str] =
 
 /// Default node counts of the `scale` benchmark family.
 pub const SCALE_SIZES: &[usize] = &[1_000, 4_000, 10_000, 25_000];
+
+/// Default node counts of the `churn-scale` family — the first churn
+/// trajectory points past the old de-facto toy-size ceiling.
+pub const CHURN_SCALE_SIZES: &[usize] = &[1_000, 25_000, 50_000];
+
+/// Protocol messages a `churn-scale` churn phase may spend on joins; the
+/// join count is derived from this and the *measured* mean join cost
+/// (`tapestry_membership::churn_join_budget`) instead of a hard-coded
+/// conservative node-count limit.
+const CHURN_JOIN_MSG_BUDGET: u64 = 4_000_000;
+
+/// Join-cost anchor for the budget derivation, in messages per join.
+/// The committed `churn` entries of `BENCH_scale.json` measure
+/// ~250 `join.messages` per join at the 50k torus point (protocol
+/// messages only — the counter excludes opportunistic table
+/// maintenance); a solo join's *total* traffic including that
+/// maintenance fan-out measures ~750 messages at 25k. The anchor uses
+/// the larger, all-in figure so the derived budget stays conservative,
+/// and the §4.5 O(log² n) curve makes it conservative for every
+/// smaller size too.
+pub const MEASURED_JOIN_MSGS: f64 = 750.0;
+
+/// Fraction of the starting population a `churn-scale` run joins (and
+/// half as many unannounced kills).
+const CHURN_JOIN_FRACTION: f64 = 1.0 / 16.0;
+
+/// Joins a `churn-scale` run at `nodes` performs: the target fraction of
+/// the population, clamped by the measured-cost-derived budget.
+pub fn churn_scale_joins(nodes: usize) -> u64 {
+    ((nodes as f64 * CHURN_JOIN_FRACTION) as u64)
+        .clamp(1, churn_join_budget(MEASURED_JOIN_MSGS, CHURN_JOIN_MSG_BUDGET))
+}
 
 /// Which substrate a `scale` run measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +155,80 @@ pub fn scale_preset(
 /// default to a few network diameters.
 fn churn_config() -> TapestryConfig {
     TapestryConfig { insert_level_timeout: SimTime::from_distance(5_000.0), ..Default::default() }
+}
+
+/// The `churn-scale` preset: sustained join/kill churn with live traffic
+/// on the constant-density torus of the scale family, sized by the
+/// measured join cost (see [`churn_scale_joins`]). With `batched`, joins
+/// coalesce into shared multicast waves (`tapestry-membership`); without
+/// it the same schedule runs through the classic solo-join path — the
+/// side-by-side baseline the committed churn trajectory points report.
+pub fn churn_scale_preset(
+    nodes: usize,
+    ops: u64,
+    seed: u64,
+    threads: usize,
+    batched: bool,
+) -> ScenarioSpec {
+    let side = scale_side(nodes);
+    let stretch = side / 1000.0;
+    let joins = churn_scale_joins(nodes);
+    let kills = joins / 2;
+    // Deadlines stretch with the side like the phase durations, so level
+    // timeouts and readiness windows span the same number of network
+    // diameters at every size.
+    let cfg = TapestryConfig {
+        insert_level_timeout: SimTime::from_distance(5_000.0 * stretch),
+        ..Default::default()
+    };
+    let spec = ScenarioSpec::new(if batched { "churn-scale" } else { "churn-scale-seq" })
+        .config(cfg)
+        .capacity(nodes + joins as usize)
+        .initial_nodes(nodes)
+        .objects((nodes / 2).max(8))
+        .threads(threads)
+        .torus(side)
+        .phase(
+            PhaseSpec::new("warmup", d(15_000.0 * stretch))
+                .arrival(Arrival::Even { ops: ops / 5 })
+                .popularity(Popularity::Zipf { exponent: 1.1 })
+                .checked(),
+        )
+        .phase(
+            PhaseSpec::new("churn", d(60_000.0 * stretch))
+                .arrival(Arrival::Poisson { ops: ops * 3 / 5 })
+                .popularity(Popularity::Zipf { exponent: 1.1 })
+                .writes(0.1)
+                .churn(ChurnSpec::Churn {
+                    joins,
+                    leaves: kills,
+                    graceful: false,
+                    min_nodes: nodes / 2,
+                })
+                .churn(ChurnSpec::ProbeAt { at: 0.55 }),
+        )
+        .phase(
+            PhaseSpec::new("settle", d(25_000.0 * stretch))
+                .arrival(Arrival::Poisson { ops: ops / 5 })
+                .popularity(Popularity::Zipf { exponent: 1.1 })
+                .writes(0.2)
+                .churn(ChurnSpec::ProbeAt { at: 0.05 })
+                .churn(ChurnSpec::OptimizeAt { at: 0.4 })
+                .checked(),
+        );
+    let spec = if batched {
+        spec.join_batch(BatchPolicy {
+            // A window a few diameters wide: at the preset's Poisson join
+            // rate it coalesces tens of joins per wave, capped below so a
+            // wave stays a bounded wire payload.
+            window: d(2_500.0 * stretch),
+            max_batch: 64,
+            ready_timeout: d(10_000.0 * stretch),
+        })
+    } else {
+        spec
+    };
+    spec.seed(seed)
 }
 
 fn d(units: f64) -> SimTime {

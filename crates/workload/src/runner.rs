@@ -15,11 +15,19 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use tapestry_core::TapestryNetwork;
 use tapestry_id::{root_id, Guid};
+use tapestry_membership::JoinCoalescer;
 use tapestry_sim::{Histogram, NodeIdx, SimStats, SimTime};
 
 /// Latencies are recorded in integer [`SimTime`] units; reports convert
 /// them back to metric-distance units.
 const LATENCY_SCALE: f64 = 1.0 / SimTime::UNITS_PER_DISTANCE;
+
+/// Past this many members the Theorem 2 spot-check samples a
+/// deterministic member stride instead of walking from *every* member —
+/// each walk is O(hops), so the exhaustive form is O(n · hops) per
+/// sampled GUID and dominated checked phases at 25k+ nodes.
+/// `ScenarioSpec::exhaustive_checks` restores the full walk.
+const ROOT_CHECK_MEMBER_SAMPLE: usize = 256;
 
 /// One catalog object: its name and the server currently holding the
 /// authoritative replica (re-homed when the server dies).
@@ -116,6 +124,9 @@ pub fn run_timed(spec: &ScenarioSpec) -> Result<(ScenarioReport, RunTotals, RunT
     let bootstrap_secs = t0.elapsed().as_secs_f64();
     let t1 = std::time::Instant::now();
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5CE7_A1E5);
+    // Join admission: scripted joins route through the coalescer when the
+    // spec asks for batching; otherwise the classic solo path, untouched.
+    let mut coalescer = spec.join_batch.map(JoinCoalescer::new);
 
     // Unoccupied points, lowest first (pop from the back).
     let mut free: Vec<NodeIdx> = (spec.initial_nodes..total_points).rev().collect();
@@ -221,11 +232,15 @@ pub fn run_timed(spec: &ScenarioSpec) -> Result<(ScenarioReport, RunTotals, RunT
                     ev,
                     &mut net,
                     &mut rng,
+                    &mut coalescer,
                     &mut free,
                     &mut joining,
                     &mut leaving,
                     &mut churn,
                 ),
+            }
+            if let Some(c) = coalescer.as_mut() {
+                c.pump(&mut net);
             }
             settle_membership(&mut net, &mut free, &mut joining, &mut leaving, &mut churn, false);
             harvest(&mut net, &mut pending, &mut ops, &mut latency, &mut hops, &mut path_dist);
@@ -234,6 +249,16 @@ pub fn run_timed(spec: &ScenarioSpec) -> Result<(ScenarioReport, RunTotals, RunT
         // ----- drain and finalize ----------------------------------------
         net.run_until(end);
         net.run_to_idle();
+        if let Some(c) = coalescer.as_mut() {
+            // Deferred insertees still waiting on a window or wave: flush
+            // and fly with whoever finished discovery (the drain above
+            // settled it), then drain the waves and table builds too.
+            // One pass suffices — `force` launches or abandons every
+            // pending wave unconditionally.
+            c.force(&mut net);
+            net.run_to_idle();
+            debug_assert!(c.is_idle(), "force drains the coalescer");
+        }
         settle_membership(&mut net, &mut free, &mut joining, &mut leaving, &mut churn, true);
         net.run_to_idle();
         harvest(&mut net, &mut pending, &mut ops, &mut latency, &mut hops, &mut path_dist);
@@ -293,10 +318,12 @@ fn random_member(net: &TapestryNetwork, rng: &mut StdRng) -> NodeIdx {
 }
 
 /// Execute one scripted membership event.
+#[allow(clippy::too_many_arguments)] // one slot per membership ledger
 fn apply_churn(
     ev: ChurnEvent,
     net: &mut TapestryNetwork,
     rng: &mut StdRng,
+    coalescer: &mut Option<JoinCoalescer>,
     free: &mut Vec<NodeIdx>,
     joining: &mut Vec<NodeIdx>,
     leaving: &mut Vec<NodeIdx>,
@@ -306,7 +333,10 @@ fn apply_churn(
         ChurnEvent::Join => match free.pop() {
             Some(idx) => {
                 let gw = random_member(net, rng);
-                net.insert_node_via(idx, gw);
+                match coalescer.as_mut() {
+                    Some(c) => c.request(net, idx, gw),
+                    None => net.insert_node_via(idx, gw),
+                }
                 joining.push(idx);
             }
             None => churn.joins_skipped += 1,
@@ -491,9 +521,10 @@ fn spot_checks(
     let (prop2_optimal, prop2_total) = net.check_property2();
     let sample: Vec<Guid> =
         objects.iter().step_by((objects.len() / 6).max(1)).map(|o| o.guid).collect();
+    let member_cap = if spec.exhaustive_checks { usize::MAX } else { ROOT_CHECK_MEMBER_SAMPLE };
     let mut unique = 0u64;
     for &g in &sample {
-        let roots = net.distinct_roots(&root_id(spec.cfg.space, g, 0));
+        let roots = net.distinct_roots_sampled(&root_id(spec.cfg.space, g, 0), member_cap);
         if roots.len() == 1 {
             unique += 1;
         }

@@ -6,6 +6,7 @@
 use crate::churn::ChurnSpec;
 use crate::traffic::{Arrival, Popularity};
 use tapestry_core::TapestryConfig;
+use tapestry_membership::BatchPolicy;
 use tapestry_metric::{GridSpace, MetricSpace, TorusSpace, TransitStubSpace};
 use tapestry_sim::SimTime;
 
@@ -152,6 +153,16 @@ pub struct ScenarioSpec {
     /// `determinism-matrix` job enforces this), so it is deliberately
     /// omitted from the report JSON.
     pub threads: usize,
+    /// Join coalescing: route scripted joins through a
+    /// `tapestry_membership::JoinCoalescer` so joins sharing the window
+    /// ride one shared multicast wave. `None` (the default) keeps the
+    /// classic solo-join path, untouched.
+    pub join_batch: Option<BatchPolicy>,
+    /// Run the Theorem 2 spot-check over *every* member instead of the
+    /// deterministic ≤256-member sample the runner uses past that size
+    /// (the O(n · hops) exhaustive walk that dominated checked phases at
+    /// 25k+ nodes). Small networks are exhaustive either way.
+    pub exhaustive_checks: bool,
     /// The phases, run in order.
     pub phases: Vec<PhaseSpec>,
 }
@@ -169,6 +180,8 @@ impl ScenarioSpec {
             initial_nodes: 64,
             objects: 32,
             threads: 1,
+            join_batch: None,
+            exhaustive_checks: false,
             phases: Vec::new(),
         }
     }
@@ -214,6 +227,19 @@ impl ScenarioSpec {
     /// byte-identical at every value).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Coalesce scripted joins into shared multicast waves under
+    /// `policy` (see `tapestry_membership::JoinCoalescer`).
+    pub fn join_batch(mut self, policy: BatchPolicy) -> Self {
+        self.join_batch = Some(policy);
+        self
+    }
+
+    /// Restore the exhaustive (every-member) Theorem 2 spot-check.
+    pub fn exhaustive_checks(mut self) -> Self {
+        self.exhaustive_checks = true;
         self
     }
 
@@ -334,6 +360,9 @@ impl ScenarioSpec {
                     ChurnSpec::Churn { .. } | ChurnSpec::Diurnal { .. } => {}
                 }
             }
+        }
+        if self.join_batch.is_some_and(|p| p.max_batch == 0) {
+            return Err("join_batch.max_batch must be at least 1".into());
         }
         if self.cfg.republish_interval != SimTime::ZERO
             || self.cfg.heartbeat_interval != SimTime::ZERO

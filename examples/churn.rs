@@ -62,6 +62,32 @@ fn main() {
     availability(&mut net, &objects, "after 12 joins    ");
     assert!(net.check_property1().is_empty(), "Property 1 after joins");
 
+    // ---- coalesced joins: one shared multicast wave -----------------------
+    let before = net.engine().stats().messages;
+    let mut coalescer = JoinCoalescer::new(BatchPolicy {
+        window: SimTime::from_distance(500.0),
+        max_batch: 6,
+        ready_timeout: SimTime::from_distance(5_000.0),
+    });
+    let gw = net.members()[0];
+    for idx in 76..82 {
+        coalescer.request(&mut net, idx, gw); // 6th request fills the batch
+    }
+    net.run_to_idle(); // surrogate discovery
+    coalescer.pump(&mut net); // everyone ready: launch the shared wave
+    net.run_to_idle();
+    for idx in 76..82 {
+        assert!(net.finish_insert_bookkeeping(idx), "batched join completes");
+    }
+    println!(
+        "coalesced 6 joins into {} wave(s) ({} messages, {:.0} per join)",
+        coalescer.outcome().waves,
+        net.engine().stats().messages - before,
+        (net.engine().stats().messages - before) as f64 / 6.0
+    );
+    availability(&mut net, &objects, "after batched join");
+    assert!(net.check_property1().is_empty(), "Property 1 after batched joins");
+
     // ---- voluntary departures (Fig. 12) -----------------------------------
     for _ in 0..6 {
         let leaver = net

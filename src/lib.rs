@@ -28,6 +28,7 @@
 pub use tapestry_baselines as baselines;
 pub use tapestry_core as core;
 pub use tapestry_id as id;
+pub use tapestry_membership as membership;
 pub use tapestry_metric as metric;
 pub use tapestry_prrv0 as prrv0;
 pub use tapestry_sim as sim;
@@ -39,6 +40,7 @@ pub mod prelude {
         LocateResult, NetworkSnapshot, RoutingScheme, TapestryConfig, TapestryNetwork,
     };
     pub use tapestry_id::{Guid, Id, IdSpace, Prefix};
+    pub use tapestry_membership::{BatchPolicy, JoinCoalescer};
     pub use tapestry_metric::{GridSpace, MetricSpace, RingSpace, TorusSpace, TransitStubSpace};
     pub use tapestry_sim::{Histogram, SimTime};
     pub use tapestry_workload::{
