@@ -16,6 +16,8 @@
 //! only as asymptotic citations with no evaluated system, so the harness
 //! reports their cited bounds rather than measurements (see DESIGN.md).
 
+#![forbid(unsafe_code)]
+
 mod broadcast;
 mod can;
 mod centralized;

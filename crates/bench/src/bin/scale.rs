@@ -271,11 +271,20 @@ fn main() {
                     Some(p) => {
                         // The determinism gate: byte-identical reports and
                         // identical engine totals at every thread count.
-                        if p.report.to_json() != report.to_json() || p.totals != totals {
+                        let (a, b) = (p.report.to_json(), report.to_json());
+                        if a != b || p.totals != totals {
                             eprintln!(
                                 "scale({n}, {space:?}): report diverged between --threads {} and {threads}",
                                 p.threads[0]
                             );
+                            if let Some(d) = tapestry_bench::diff_summary(&a, &b) {
+                                eprintln!("{d}");
+                            } else {
+                                eprintln!(
+                                    "reports match; engine totals differ: {:?} vs {totals:?}",
+                                    p.totals
+                                );
+                            }
                             std::process::exit(1)
                         }
                         p.threads.push(threads);
@@ -312,11 +321,20 @@ fn main() {
                     })
                 }
                 Some(p) => {
-                    if p.report.to_json() != report.to_json() || p.totals != totals {
+                    let (a, b) = (p.report.to_json(), report.to_json());
+                    if a != b || p.totals != totals {
                         eprintln!(
                             "churn-scale({n}): report diverged between --threads {} and {threads}",
                             p.threads[0]
                         );
+                        if let Some(d) = tapestry_bench::diff_summary(&a, &b) {
+                            eprintln!("{d}");
+                        } else {
+                            eprintln!(
+                                "reports match; engine totals differ: {:?} vs {totals:?}",
+                                p.totals
+                            );
+                        }
                         std::process::exit(1)
                     }
                     p.threads.push(threads);

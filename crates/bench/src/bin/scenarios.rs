@@ -11,9 +11,12 @@
 //!
 //! Identical arguments (including `--seed`) produce bit-identical
 //! reports — `BENCH_scenarios.json` is regenerated with `--preset all`
-//! and diffed across PRs.
+//! and diffed across PRs. `--verify-threads T[,T..]` re-runs every
+//! preset at the listed thread counts and byte-compares each report to
+//! the primary run, exiting non-zero with a first-divergence summary on
+//! mismatch (the in-binary form of CI's `cmp` gate).
 
-use tapestry_bench::{f2, header, row};
+use tapestry_bench::{diff_summary, f2, header, row};
 use tapestry_workload::{presets, runner, ScenarioReport};
 
 struct Args {
@@ -22,6 +25,7 @@ struct Args {
     ops: u64,
     seed: u64,
     threads: usize,
+    verify_threads: Vec<usize>,
     json: Option<String>,
     csv: Option<String>,
     quiet: bool,
@@ -30,10 +34,11 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: scenarios --preset <name|all> [--nodes N] [--ops N] [--seed S] [--threads T]\n\
-         \x20                [--json PATH] [--csv PATH] [--quiet]\n\
+         \x20                [--verify-threads T[,T..]] [--json PATH] [--csv PATH] [--quiet]\n\
          \x20      scenarios --list\n\
          presets: {}\n\
-         --threads only changes wall-clock time: reports are byte-identical at every value",
+         --threads only changes wall-clock time: reports are byte-identical at every value\n\
+         --verify-threads re-runs each preset at the given counts and byte-compares reports",
         presets::PRESET_NAMES.join(", ")
     );
     std::process::exit(2)
@@ -46,6 +51,7 @@ fn parse_args() -> Args {
         ops: 500,
         seed: 42,
         threads: 1,
+        verify_threads: Vec::new(),
         json: None,
         csv: None,
         quiet: false,
@@ -66,6 +72,15 @@ fn parse_args() -> Args {
             "--threads" => {
                 args.threads = val("--threads").parse().unwrap_or_else(|_| usage());
                 if args.threads == 0 {
+                    usage()
+                }
+            }
+            "--verify-threads" => {
+                args.verify_threads = val("--verify-threads")
+                    .split(',')
+                    .map(|t| t.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if args.verify_threads.contains(&0) {
                     usage()
                 }
             }
@@ -139,6 +154,34 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("{name}: {e}");
+                std::process::exit(1)
+            }
+        }
+        // The in-binary determinism gate: the same preset at every
+        // requested thread count must reproduce the report byte for byte.
+        let primary = reports.last().expect("just pushed").to_json();
+        for &threads in &args.verify_threads {
+            if threads == args.threads {
+                continue;
+            }
+            let spec = presets::preset(name, args.nodes, args.ops, args.seed)
+                .expect("known preset")
+                .threads(threads);
+            let rerun = match runner::run(&spec) {
+                Ok(r) => r.to_json(),
+                Err(e) => {
+                    eprintln!("{name} (--verify-threads {threads}): {e}");
+                    std::process::exit(1)
+                }
+            };
+            if rerun != primary {
+                eprintln!(
+                    "{name}: report diverged between --threads {} and {threads}",
+                    args.threads
+                );
+                if let Some(d) = diff_summary(&primary, &rerun) {
+                    eprintln!("{d}");
+                }
                 std::process::exit(1)
             }
         }

@@ -8,8 +8,31 @@
 //! (simulations themselves stay single-threaded — event order is the
 //! semantics — so parallelism lives at the sweep level).
 
+#![forbid(unsafe_code)]
+
 use parking_lot::Mutex;
 use std::sync::Arc;
+
+/// Locate the first divergence between two texts that should have been
+/// byte-identical (thread-count determinism gates): returns a summary
+/// naming the byte offset, the 1-based line, and both lines' contents —
+/// `None` when the texts match. The scale/scenarios binaries print this
+/// on their internal byte-compare failures so CI divergence points at a
+/// field, not just at two differing files.
+pub fn diff_summary(a: &str, b: &str) -> Option<String> {
+    if a == b {
+        return None;
+    }
+    let offset =
+        a.bytes().zip(b.bytes()).position(|(x, y)| x != y).unwrap_or_else(|| a.len().min(b.len()));
+    let line_no = a[..offset.min(a.len())].bytes().filter(|&c| c == b'\n').count() + 1;
+    let nth_line = |s: &str| s.lines().nth(line_no - 1).unwrap_or("<missing line>").to_string();
+    Some(format!(
+        "first divergence at byte {offset}, line {line_no}:\n  a: {}\n  b: {}",
+        nth_line(a),
+        nth_line(b)
+    ))
+}
 
 /// Mean of a sample (0 for empty input).
 pub fn mean(xs: &[f64]) -> f64 {
@@ -26,7 +49,9 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Plain f64 values: equal elements are interchangeable, so tie order
+    // cannot change the nearest-rank read below.
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // tapestry-lint: allow(float-tiebreak)
     let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
     v[rank.min(v.len() - 1)]
 }
@@ -103,6 +128,21 @@ mod tests {
         assert_eq!(percentile(&xs, 0.0), 1.0);
         assert_eq!(percentile(&xs, 50.0), 3.0);
         assert_eq!(percentile(&xs, 100.0), 5.0);
+    }
+
+    #[test]
+    fn diff_summary_names_offset_line_and_contents() {
+        assert_eq!(diff_summary("same", "same"), None);
+        let a = "line one\nline two\nline three\n";
+        let b = "line one\nline twX\nline three\n";
+        let d = diff_summary(a, b).expect("texts differ");
+        assert!(d.contains("byte 16"), "{d}");
+        assert!(d.contains("line 2"), "{d}");
+        assert!(d.contains("a: line two"), "{d}");
+        assert!(d.contains("b: line twX"), "{d}");
+        // One text a strict prefix of the other: divergence at the end.
+        let d = diff_summary("ab", "abc").expect("lengths differ");
+        assert!(d.contains("byte 2"), "{d}");
     }
 
     #[test]

@@ -178,7 +178,10 @@ impl TapestryNode {
         list.sort();
         list.dedup();
         list.retain(|r| r.idx != me.idx);
-        // KeepClosestK over the level-|α| candidates.
+        // KeepClosestK over the level-|α| candidates. The list was just
+        // sorted by NodeRef (ascending idx), and sort_by is stable, so
+        // equal distances keep ascending-idx order: (distance, index).
+        // tapestry-lint: allow(float-tiebreak)
         list.sort_by(|a, b| {
             ctx.distance(me.idx, a.idx).partial_cmp(&ctx.distance(me.idx, b.idx)).unwrap()
         });
@@ -288,6 +291,9 @@ impl TapestryNode {
         merged.sort();
         merged.dedup();
         merged.retain(|r| r.idx != me.idx);
+        // Stable sort over the just-sorted (ascending idx) merge: ties
+        // resolve to the lowest idx — the (distance, index) contract.
+        // tapestry-lint: allow(float-tiebreak)
         merged.sort_by(|a, b| {
             ctx.distance(me.idx, a.idx).partial_cmp(&ctx.distance(me.idx, b.idx)).unwrap()
         });

@@ -27,6 +27,8 @@
 //! The driver type is [`TapestryNetwork`]; see `examples/quickstart.rs` in
 //! the workspace root.
 
+#![forbid(unsafe_code)]
+
 mod availability;
 mod config;
 mod insert;

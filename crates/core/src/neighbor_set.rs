@@ -109,6 +109,11 @@ impl NeighborSet {
                 .iter()
                 .enumerate()
                 .filter(|(_, e)| !e.pinned)
+                // entries is kept sorted by (dist, idx) (see sort below)
+                // and max_by keeps the last of equals, so the evicted
+                // entry is always the highest (dist, idx) — deterministic
+                // without a .then.
+                // tapestry-lint: allow(float-tiebreak)
                 .max_by(|a, b| a.1.dist.partial_cmp(&b.1.dist).unwrap())
                 .map(|(i, _)| i)
                 .expect("unpinned >= capacity >= 1");

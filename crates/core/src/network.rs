@@ -11,7 +11,7 @@ use crate::refs::NodeRef;
 use crate::routing_table::Hop;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use tapestry_id::{root_id, Guid, Id};
 use tapestry_metric::{MetricSpace, NearestIndex};
 use tapestry_sim::{Engine, NodeIdx, SimTime};
@@ -191,7 +191,7 @@ impl TapestryNetwork {
         let mut rng = StdRng::seed_from_u64(seed);
         // Unique uniformly random node IDs (the paper assumes uniform,
         // collision-free names).
-        let mut seen = HashSet::with_capacity(n);
+        let mut seen = BTreeSet::new();
         let mut ids = Vec::with_capacity(n);
         while ids.len() < n {
             let id = Id::random(cfg.space, &mut rng);
@@ -282,7 +282,7 @@ impl TapestryNetwork {
         let mut sorted: Vec<NodeIdx> = members.to_vec();
         sorted.sort_unstable();
         for l in 0..levels {
-            let mut groups: HashMap<u128, Vec<NodeIdx>> = HashMap::new();
+            let mut groups: BTreeMap<u128, Vec<NodeIdx>> = BTreeMap::new();
             for &m in &sorted {
                 groups.entry(self.ids[m].prefix_key(l + 1)).or_default().push(m);
             }
@@ -292,7 +292,7 @@ impl TapestryNetwork {
             // order is even immaterial here — results land in a map —
             // but one helper keeps one collection contract).
             let entries: Vec<(u128, Vec<NodeIdx>)> = groups.into_iter().collect();
-            let indexes: HashMap<u128, Box<dyn NearestIndex + '_>> =
+            let indexes: BTreeMap<u128, Box<dyn NearestIndex + '_>> =
                 fan_out_chunks(threads, &entries, |ch| {
                     ch.iter().map(|(k, v)| (*k, metric.build_index(v.clone()))).collect()
                 })
@@ -804,9 +804,11 @@ impl TapestryNetwork {
         let base = self.cfg.base();
         let mut bad = Vec::new();
         for l in 0..levels {
-            let mut counts: HashMap<u128, u32> = HashMap::with_capacity(self.members.len());
+            // Membership-only (contains_key below): a BTreeSet keeps the
+            // check hash-free on the determinism-gated path.
+            let mut present: BTreeSet<u128> = BTreeSet::new();
             for &b in &self.members {
-                *counts.entry(self.ids[b].prefix_key(l + 1)).or_insert(0) += 1;
+                present.insert(self.ids[b].prefix_key(l + 1));
             }
             // The per-member slot scan is read-only and independent per
             // member: fan out over contiguous chunks, concatenate in
@@ -824,7 +826,7 @@ impl TapestryNetwork {
                             continue;
                         }
                         if node.table().slot(l, j).is_empty()
-                            && counts.contains_key(&(a_key * base as u128 + j as u128))
+                            && present.contains(&(a_key * base as u128 + j as u128))
                         {
                             out.push((a, l, j));
                         }
@@ -857,11 +859,11 @@ impl TapestryNetwork {
         let mut optimal = 0;
         let mut total = 0;
         for l in 0..levels {
-            let mut groups: HashMap<u128, Vec<NodeIdx>> = HashMap::new();
+            let mut groups: BTreeMap<u128, Vec<NodeIdx>> = BTreeMap::new();
             for &b in &self.members {
                 groups.entry(self.ids[b].prefix_key(l + 1)).or_default().push(b);
             }
-            let indexes: HashMap<u128, Box<dyn NearestIndex + '_>> =
+            let indexes: BTreeMap<u128, Box<dyn NearestIndex + '_>> =
                 groups.into_iter().map(|(k, v)| (k, metric.build_index(v))).collect();
             // Independent read-only per-member queries: fan out, then sum
             // the per-chunk tallies (integer sums are order-free).
@@ -963,6 +965,11 @@ impl TapestryNetwork {
                             let bid = self.ids[b];
                             bid.shared_prefix_len(&aid) == l && bid.digit(l) == j
                         })
+                        // self.members is kept ascending (sorted insert)
+                        // and min_by returns the first of equal elements,
+                        // so ties already resolve to the lowest idx — the
+                        // (distance, index) contract without a .then.
+                        // tapestry-lint: allow(float-tiebreak)
                         .min_by(|&&x, &&y| {
                             self.engine
                                 .metric()

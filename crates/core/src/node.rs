@@ -6,7 +6,7 @@ use crate::refs::NodeRef;
 use crate::routing_table::RoutingTable;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use tapestry_id::Id;
 use tapestry_sim::{Actor, Ctx, NodeIdx};
 
@@ -115,9 +115,9 @@ pub struct TapestryNode {
     pub(crate) store: ObjectStore,
     pub(crate) op_counter: u64,
     pub(crate) insert: Option<InsertState>,
-    pub(crate) mcast: HashMap<OpId, McastSession>,
+    pub(crate) mcast: BTreeMap<OpId, McastSession>,
     /// Sessions already completed (suppresses duplicate multicasts, §4.4).
-    pub(crate) mcast_done: HashSet<OpId>,
+    pub(crate) mcast_done: BTreeSet<OpId>,
     pub(crate) leave: Option<LeaveState>,
     /// Held watch-list entries (§4.4, Fig. 11): `(watcher, level, digit,
     /// op)` holes advertised by inserting nodes that we could not serve at
@@ -128,7 +128,7 @@ pub struct TapestryNode {
     /// Completed locate operations awaiting collection by the driver.
     pub(crate) locate_results: Vec<LocateResult>,
     /// Locates issued here and still in flight: op → (guid, issue time).
-    pub(crate) pending_locates: HashMap<OpId, (tapestry_id::Guid, tapestry_sim::SimTime)>,
+    pub(crate) pending_locates: BTreeMap<OpId, (tapestry_id::Guid, tapestry_sim::SimTime)>,
     pub(crate) rng: StdRng,
 }
 
@@ -154,13 +154,13 @@ impl TapestryNode {
             store: ObjectStore::new(),
             op_counter: 0,
             insert: None,
-            mcast: HashMap::new(),
-            mcast_done: HashSet::new(),
+            mcast: BTreeMap::new(),
+            mcast_done: BTreeSet::new(),
             leave: None,
             watches: Vec::new(),
             probe: ProbeState::default(),
             locate_results: Vec::new(),
-            pending_locates: HashMap::new(),
+            pending_locates: BTreeMap::new(),
             rng: StdRng::seed_from_u64(seed ^ (me.idx as u64).wrapping_mul(0x9E37_79B9)),
         }
     }

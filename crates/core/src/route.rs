@@ -115,6 +115,10 @@ impl TapestryNode {
                 let best = self
                     .store
                     .lookup(guid, ctx.now)
+                    // store.lookup yields entries in deterministic store
+                    // order and min_by keeps the first of equals, so ties
+                    // resolve identically on every run/thread count.
+                    // tapestry-lint: allow(float-tiebreak)
                     .min_by(|a, b| {
                         ctx.distance_to(a.server.idx)
                             .partial_cmp(&ctx.distance_to(b.server.idx))

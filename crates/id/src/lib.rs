@@ -11,6 +11,8 @@
 //! inline array of digits plus a length, and every operation is `O(len)`
 //! at worst.
 
+#![forbid(unsafe_code)]
+
 mod guid;
 mod hex;
 mod id;

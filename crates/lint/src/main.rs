@@ -1,0 +1,121 @@
+//! `tapestry-lint` CLI: scan the workspace for determinism hazards.
+//!
+//! ```text
+//! tapestry-lint [--root DIR] [--json] [--quiet] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error. The scan roots and
+//! their gate classes live in [`tapestry_lint::WORKSPACE_TARGETS`]; roots
+//! missing under `--root` are skipped (the fixture trees in tests rely on
+//! this), but a run that finds *no* roots at all is an error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tapestry_lint::{scan_source, Finding, RULES, WORKSPACE_TARGETS};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage_error("--root needs a directory argument"),
+            },
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--list-rules" => {
+                for (rule, summary) in RULES {
+                    println!("{rule:<16} {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "tapestry-lint: determinism-hazard scanner\n\n\
+                     usage: tapestry-lint [--root DIR] [--json] [--quiet] [--list-rules]\n\n\
+                     Scans the workspace source roots for HashMap/HashSet iteration,\n\
+                     wall-clock reads, unseeded RNGs and float orderings missing the\n\
+                     (dist, idx) tie-break. Suppress with `// tapestry-lint: allow(rule)`.\n\
+                     Exit 0 = clean, 1 = findings, 2 = error."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut files_scanned = 0usize;
+    let mut roots_seen = 0usize;
+    for (rel, class) in WORKSPACE_TARGETS {
+        let dir = root.join(rel);
+        if !dir.is_dir() {
+            continue;
+        }
+        roots_seen += 1;
+        let mut files = Vec::new();
+        if let Err(e) = collect_rs_files(&dir, &mut files) {
+            eprintln!("tapestry-lint: error walking {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+        files.sort();
+        for path in files {
+            let source = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("tapestry-lint: error reading {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let label =
+                path.strip_prefix(&root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            findings.extend(scan_source(&label, &source, *class));
+            files_scanned += 1;
+        }
+    }
+    if roots_seen == 0 {
+        eprintln!("tapestry-lint: no scan roots found under {} (wrong --root?)", root.display());
+        return ExitCode::from(2);
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    if json {
+        println!("{}", tapestry_lint::findings_json(&findings, files_scanned));
+    } else if !quiet {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            println!("tapestry-lint: clean ({files_scanned} files scanned)");
+        } else {
+            println!("tapestry-lint: {} finding(s) in {files_scanned} files", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("tapestry-lint: {msg} (try --help)");
+    ExitCode::from(2)
+}

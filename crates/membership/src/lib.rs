@@ -33,6 +33,8 @@
 //! defers the remainder to soft-state repair (probe/optimize rounds),
 //! bounding worst-case wave cost even when `α = ε`.
 
+#![forbid(unsafe_code)]
+
 pub mod coalescer;
 pub mod cost;
 

@@ -11,6 +11,8 @@
 //! All spaces place `n` points up front; dynamic-membership experiments
 //! activate subsets of the points over time.
 
+#![forbid(unsafe_code)]
+
 mod expansion;
 mod grid;
 mod index;

@@ -70,6 +70,10 @@ pub fn nearest<S: MetricSpace + ?Sized>(
     from: PointIdx,
     candidates: &[PointIdx],
 ) -> Option<PointIdx> {
+    // Callers pass candidates in deterministic (ascending) order and
+    // min_by keeps the first of equals: ties resolve to the lowest idx,
+    // i.e. the (distance, index) contract.
+    // tapestry-lint: allow(float-tiebreak)
     candidates.iter().copied().filter(|&c| c != from).min_by(|&a, &b| {
         space.distance(from, a).partial_cmp(&space.distance(from, b)).expect("distances are finite")
     })
@@ -84,6 +88,9 @@ pub fn closest_k<S: MetricSpace + ?Sized>(
     k: usize,
 ) -> Vec<PointIdx> {
     let mut v: Vec<PointIdx> = candidates.iter().copied().filter(|&c| c != from).collect();
+    // Stable sort over the caller's deterministic candidate order: equal
+    // distances keep that order — (distance, index) for ascending input.
+    // tapestry-lint: allow(float-tiebreak)
     v.sort_by(|&a, &b| {
         space.distance(from, a).partial_cmp(&space.distance(from, b)).expect("distances are finite")
     });

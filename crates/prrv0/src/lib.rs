@@ -16,6 +16,8 @@
 //! growth-restriction needed. This crate reproduces the scheme and its
 //! measured columns in Table 1 (the `PRR v.0 + This Paper` row).
 
+#![forbid(unsafe_code)]
+
 mod sampling;
 mod scheme;
 

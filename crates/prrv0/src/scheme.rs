@@ -1,3 +1,7 @@
+// Every HashMap in this module (member_pos, lists, list_sizes) is built
+// once from deterministic input and then only read by key lookup — no
+// iteration ever escapes, so hash order cannot reach a report.
+// tapestry-lint: allow-file(hash-iter)
 use crate::sampling::{sample_sets, SamplingParams};
 use std::collections::HashMap;
 use tapestry_metric::{MetricSpace, PointIdx};

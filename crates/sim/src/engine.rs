@@ -1,3 +1,4 @@
+use crate::race::{self, RaceReport};
 use crate::shard::ShardedQueue;
 use crate::{SimStats, SimTime};
 use tapestry_metric::MetricSpace;
@@ -46,6 +47,10 @@ pub struct Ctx<'a, M, T> {
     metric: &'a dyn MetricSpace,
     stats: &'a mut SimStats,
     out: &'a mut Vec<Effect<M, T>>,
+    /// Shadow footprint for the race detector: `Some` only on the batched
+    /// drain in detector builds, so the sequential path and release
+    /// builds without the feature record nothing.
+    race: Option<&'a mut Vec<race::Touch>>,
 }
 
 impl<M, T> Ctx<'_, M, T> {
@@ -84,6 +89,25 @@ impl<M, T> Ctx<'_, M, T> {
     /// Record a sample into a named statistics histogram.
     pub fn record(&mut self, name: &'static str, v: u64) {
         self.stats.record(name, v);
+    }
+
+    /// Declare to the race detector that this handler *read* state of
+    /// class `class` on `node`. A handler's own actor is covered by an
+    /// implicit write; declare anything beyond it (shared tables,
+    /// debug-only globals, out-of-band state). No-op outside the batched
+    /// drain and in builds without the detector.
+    pub fn note_read(&mut self, node: NodeIdx, class: &'static str) {
+        if let Some(trace) = self.race.as_deref_mut() {
+            trace.push((node, class, race::Access::Read));
+        }
+    }
+
+    /// Declare a cross-node *write* of state class `class` on `node` for
+    /// the race detector (see [`Ctx::note_read`]).
+    pub fn note_write(&mut self, node: NodeIdx, class: &'static str) {
+        if let Some(trace) = self.race.as_deref_mut() {
+            trace.push((node, class, race::Access::Write));
+        }
     }
 }
 
@@ -153,6 +177,11 @@ pub struct Engine<A: Actor> {
     /// (so a heal lets *later* sends through but cannot resurrect
     /// messages lost while the cut was up).
     partition: Option<Vec<u32>>,
+    /// Same-instant conflicts recorded by the race detector when
+    /// [`Engine::set_race_panic`] turned panicking off.
+    race_reports: Vec<RaceReport>,
+    /// Panic on the first detected race (default) instead of recording.
+    race_panic: bool,
 }
 
 impl<A: Actor> Engine<A> {
@@ -179,7 +208,33 @@ impl<A: Actor> Engine<A> {
             out_buf: Vec::with_capacity(32),
             events_processed: 0,
             partition: None,
+            race_reports: Vec::new(),
+            race_panic: true,
         }
+    }
+
+    /// Is the same-instant race detector compiled into this build?
+    /// (Debug builds and any build with the `race-detector` feature.)
+    pub fn race_detector_compiled() -> bool {
+        race::RACE_DETECTOR_COMPILED
+    }
+
+    /// Race policy: `true` (default) panics on the first same-instant
+    /// conflict so CI fails loudly; `false` records reports instead,
+    /// retrievable via [`Engine::race_reports`].
+    pub fn set_race_panic(&mut self, panic_on_race: bool) {
+        self.race_panic = panic_on_race;
+    }
+
+    /// Race reports recorded so far (empty unless panicking was turned
+    /// off and the detector is compiled in).
+    pub fn race_reports(&self) -> &[RaceReport] {
+        &self.race_reports
+    }
+
+    /// Drain the recorded race reports.
+    pub fn take_race_reports(&mut self) -> Vec<RaceReport> {
+        std::mem::take(&mut self.race_reports)
     }
 
     /// Set the worker-thread count for the same-instant parallel drain.
@@ -351,6 +406,7 @@ impl<A: Actor> Engine<A> {
     /// Invoke the handler for `work` on `actor`, with sends/timers and
     /// stats routed into the given buffers (the sequential path passes
     /// the engine's own; the batched path passes per-item scratch).
+    #[allow(clippy::too_many_arguments)] // split borrows of Engine fields, not a real API
     fn run_handler(
         actor: &mut A,
         now: SimTime,
@@ -358,9 +414,10 @@ impl<A: Actor> Engine<A> {
         metric: &dyn MetricSpace,
         stats: &mut SimStats,
         out: &mut Vec<Effect<A::Msg, A::Timer>>,
+        race: Option<&mut Vec<race::Touch>>,
         work: Work<A::Msg, A::Timer>,
     ) {
-        let mut ctx = Ctx { now, me, metric, stats, out };
+        let mut ctx = Ctx { now, me, metric, stats, out, race };
         match work {
             Work::Msg(from, msg) => actor.on_message(&mut ctx, from, msg),
             Work::Timer(t) => {
@@ -413,6 +470,8 @@ impl<A: Actor> Engine<A> {
             &*self.metric,
             &mut self.stats,
             &mut out,
+            // Sequential execution cannot race; nothing is recorded.
+            None,
             work,
         );
         self.actors[node] = Some(actor);
@@ -446,7 +505,10 @@ impl<A: Actor> Engine<A> {
         A::Msg: Send,
         A::Timer: Send,
     {
-        let start = std::time::Instant::now();
+        // Wall-clock is observation only here: it lands in RunBudget's
+        // throughput figures and never feeds simulated behaviour (the
+        // drain is bounded by max_events, not elapsed time).
+        let start = std::time::Instant::now(); // tapestry-lint: allow(wall-clock)
         let events = self.run_until_idle_threaded(max_events);
         let wall_secs = start.elapsed().as_secs_f64();
         RunBudget {
@@ -529,11 +591,16 @@ impl<A: Actor> Engine<A> {
             work: Option<Work<A::Msg, A::Timer>>,
             out: Vec<Effect<A::Msg, A::Timer>>,
             stats: SimStats,
+            /// Event identity for race reports (zeroed out of detector
+            /// builds — the const guard folds the fill away).
+            desc: race::EventDesc,
+            /// Shadow footprint this event's handler recorded.
+            trace: Vec<race::Touch>,
         }
 
         let mut processed = 0u64;
         let mut batch: Vec<BatchItem<A>> = Vec::new();
-        let mut seen: std::collections::HashSet<NodeIdx> = std::collections::HashSet::new();
+        let mut seen: std::collections::BTreeSet<NodeIdx> = std::collections::BTreeSet::new();
         // Recycled effect buffers, one per batch slot — the batched
         // sibling of the sequential path's reused `out_buf`, so the hot
         // path allocates no per-event buffers either way.
@@ -553,9 +620,25 @@ impl<A: Actor> Engine<A> {
                 if at != t || seen.contains(&key) {
                     break;
                 }
-                let (_, _, _, ev) = self.queue.pop().expect("peeked");
+                let (_, seq, _, ev) = self.queue.pop().expect("peeked");
                 processed += 1;
                 self.events_processed += 1;
+                let desc = if race::RACE_DETECTOR_COMPILED {
+                    race::EventDesc {
+                        seq,
+                        node: ev.target(),
+                        kind: match ev {
+                            Event::Deliver { .. } => "deliver",
+                            Event::Fire { .. } => "timer",
+                        },
+                        from: match ev {
+                            Event::Deliver { from, .. } => Some(from),
+                            Event::Fire { .. } => None,
+                        },
+                    }
+                } else {
+                    race::EventDesc { seq: 0, node: 0, kind: "", from: None }
+                };
                 let Some((node, work)) = self.decode(ev) else { continue };
                 let Some(actor) = self.take_actor(node, &work) else { continue };
                 seen.insert(node);
@@ -565,10 +648,13 @@ impl<A: Actor> Engine<A> {
                     work: Some(work),
                     out: out_pool.pop().unwrap_or_default(),
                     stats: SimStats::default(),
+                    desc,
+                    trace: Vec::new(),
                 });
             }
             // ---- run handlers (parallel when the batch is worth it) -----
             let metric = &*self.metric;
+            let record_races = race::RACE_DETECTOR_COMPILED && batch.len() >= 2;
             let run_item = |item: &mut BatchItem<A>| {
                 let work = item.work.take().expect("work set at collection");
                 Self::run_handler(
@@ -578,6 +664,10 @@ impl<A: Actor> Engine<A> {
                     metric,
                     &mut item.stats,
                     &mut item.out,
+                    // A one-event batch cannot conflict with itself, so
+                    // footprints are only recorded when a second event
+                    // shares the instant.
+                    if record_races { Some(&mut item.trace) } else { None },
                     work,
                 );
             };
@@ -590,6 +680,19 @@ impl<A: Actor> Engine<A> {
                 });
             } else {
                 batch.iter_mut().for_each(run_item);
+            }
+            // ---- intersect shadow footprints (detector builds only) -----
+            if record_races {
+                let items: Vec<(race::EventDesc, Vec<race::Touch>)> = batch
+                    .iter_mut()
+                    .map(|item| (item.desc, std::mem::take(&mut item.trace)))
+                    .collect();
+                for report in race::check_batch(t, &items) {
+                    if self.race_panic {
+                        panic!("race detector: {report}");
+                    }
+                    self.race_reports.push(report);
+                }
             }
             // ---- apply effects in pop order (sequential, deterministic) -
             for mut item in batch.drain(..) {

@@ -13,14 +13,18 @@
 //! * runs are bit-for-bit reproducible: ties in delivery time are broken
 //!   by a global sequence number and all randomness is seeded upstream.
 
+#![forbid(unsafe_code)]
+
 mod engine;
 mod histogram;
+mod race;
 mod shard;
 mod stats;
 mod time;
 
 pub use engine::{Actor, Ctx, Engine, NodeIdx, RunBudget, EXTERNAL};
 pub use histogram::Histogram;
+pub use race::{Access, EventDesc, RaceReport, RACE_DETECTOR_COMPILED};
 pub use shard::ShardedQueue;
 pub use stats::SimStats;
 pub use time::SimTime;

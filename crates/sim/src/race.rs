@@ -1,0 +1,237 @@
+//! Same-instant race detector for the batched parallel drain.
+//!
+//! The engine's threaded drain relies on one independence contract:
+//! events due at the same instant on *distinct* nodes may run their
+//! handlers concurrently because a handler mutates only its own actor.
+//! CI enforces the consequence (byte-identical reports across thread
+//! counts) post-hoc, whole-file — this module enforces the contract
+//! itself, per event, so a violation is pinpointed the moment it happens
+//! instead of surfacing as "the 25k report differed at thread 4".
+//!
+//! Under the `race-detector` feature (default-on in debug builds via
+//! [`RACE_DETECTOR_COMPILED`]) each batched handler records a shadow
+//! footprint of `(node, state-class)` cells it read or wrote:
+//!
+//! * an implicit **write** to `(me, "actor")` — every handler mutates its
+//!   own actor state;
+//! * explicit cells declared through [`Ctx::note_read`] /
+//!   [`Ctx::note_write`] for anything reaching beyond the handler's own
+//!   actor (shared tables, debug globals, out-of-band state).
+//!
+//! After a same-instant batch runs, footprints of *different* events are
+//! intersected: any cell with two writers, or a writer and a reader,
+//! yields a [`RaceReport`] naming both events, the instant and the
+//! contended cell. The sequential drain records nothing and can never
+//! flag — racing is only possible where concurrency is.
+//!
+//! [`Ctx::note_read`]: crate::Ctx::note_read
+//! [`Ctx::note_write`]: crate::Ctx::note_write
+
+use crate::{NodeIdx, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Is the detector compiled into this build? True in debug builds and
+/// whenever the `race-detector` feature is enabled; release builds
+/// without the feature compile all hooks to no-ops.
+pub const RACE_DETECTOR_COMPILED: bool = cfg!(any(feature = "race-detector", debug_assertions));
+
+/// How an event touched a `(node, state-class)` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Access {
+    /// Read-only observation.
+    Read,
+    /// Mutation (or potential mutation).
+    Write,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Access::Read => "read",
+            Access::Write => "write",
+        })
+    }
+}
+
+/// One footprint entry: which cell, and how it was touched.
+pub(crate) type Touch = (NodeIdx, &'static str, Access);
+
+/// Identity of one event in a race report, captured before decode so the
+/// report names the raw queue event, not its post-routing interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventDesc {
+    /// Global queue sequence number (the total-order tie-break).
+    pub seq: u64,
+    /// Node the event fired on.
+    pub node: NodeIdx,
+    /// `"deliver"` for messages, `"timer"` for timer fires.
+    pub kind: &'static str,
+    /// Sender, for deliveries.
+    pub from: Option<NodeIdx>,
+}
+
+impl fmt::Display for EventDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{} at node {}", self.kind, self.seq, self.node)?;
+        if let Some(from) = self.from {
+            write!(f, " (from {from})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A same-instant conflict between two concurrently executed events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// The simulated instant whose batch raced.
+    pub at: SimTime,
+    /// Contended node.
+    pub node: NodeIdx,
+    /// Contended state class on that node.
+    pub class: &'static str,
+    /// The earlier event in pop (sequence) order.
+    pub first: EventDesc,
+    /// How `first` touched the cell.
+    pub first_access: Access,
+    /// The later event.
+    pub second: EventDesc,
+    /// How `second` touched the cell.
+    pub second_access: Access,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "same-instant race at t={:?} on (node {}, {:?}): {} [{}] vs {} [{}]",
+            self.at,
+            self.node,
+            self.class,
+            self.first,
+            self.first_access,
+            self.second,
+            self.second_access,
+        )
+    }
+}
+
+/// Intersect the footprints of one same-instant batch (`items` in pop
+/// order, each the event plus its recorded touches). Returns every
+/// write/write and read/write conflict between *different* events,
+/// deterministically ordered: cells ascend by `(node, class)`, and
+/// within a cell the first writer (lowest pop index) is paired with each
+/// later-conflicting event in pop order.
+pub(crate) fn check_batch(at: SimTime, items: &[(EventDesc, Vec<Touch>)]) -> Vec<RaceReport> {
+    // Collapse each event's touches per cell (write dominates read), then
+    // bucket by cell across events. BTreeMap keeps report order stable.
+    let mut cells: BTreeMap<(NodeIdx, &'static str), Vec<(usize, Access)>> = BTreeMap::new();
+    for (i, (desc, touches)) in items.iter().enumerate() {
+        let mut per: BTreeMap<(NodeIdx, &'static str), Access> = BTreeMap::new();
+        per.insert((desc.node, "actor"), Access::Write); // implicit self-write
+        for &(node, class, access) in touches {
+            let slot = per.entry((node, class)).or_insert(access);
+            if access == Access::Write {
+                *slot = Access::Write;
+            }
+        }
+        for ((node, class), access) in per {
+            cells.entry((node, class)).or_default().push((i, access));
+        }
+    }
+    let mut reports = Vec::new();
+    for ((node, class), accs) in cells {
+        let Some(&(w, _)) = accs.iter().find(|(_, a)| *a == Access::Write) else {
+            continue; // readers only: no conflict
+        };
+        for &(o, o_access) in &accs {
+            if o == w {
+                continue;
+            }
+            // The first writer conflicts with every other toucher; pure
+            // read pairs were excluded above (w is a write by choice).
+            let (fi, fa, si, sa) = if w < o {
+                (w, Access::Write, o, o_access)
+            } else {
+                (o, o_access, w, Access::Write)
+            };
+            reports.push(RaceReport {
+                at,
+                node,
+                class,
+                first: items[fi].0,
+                first_access: fa,
+                second: items[si].0,
+                second_access: sa,
+            });
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, node: NodeIdx) -> EventDesc {
+        EventDesc { seq, node, kind: "deliver", from: None }
+    }
+
+    #[test]
+    fn disjoint_footprints_are_clean() {
+        let items = vec![
+            (ev(1, 0), vec![(5, "table", Access::Write)]),
+            (ev(2, 1), vec![(6, "table", Access::Write)]),
+        ];
+        assert!(check_batch(SimTime(10), &items).is_empty());
+    }
+
+    #[test]
+    fn write_write_on_shared_cell_is_flagged() {
+        let items = vec![
+            (ev(1, 0), vec![(5, "table", Access::Write)]),
+            (ev(2, 1), vec![(5, "table", Access::Write)]),
+        ];
+        let r = check_batch(SimTime(10), &items);
+        assert_eq!(r.len(), 1);
+        assert_eq!((r[0].node, r[0].class), (5, "table"));
+        assert_eq!(r[0].first.seq, 1);
+        assert_eq!(r[0].second.seq, 2);
+        assert_eq!((r[0].first_access, r[0].second_access), (Access::Write, Access::Write));
+    }
+
+    #[test]
+    fn read_write_is_flagged_but_read_read_is_not() {
+        let rw = vec![
+            (ev(1, 0), vec![(5, "table", Access::Read)]),
+            (ev(2, 1), vec![(5, "table", Access::Write)]),
+        ];
+        assert_eq!(check_batch(SimTime(1), &rw).len(), 1);
+        let rr = vec![
+            (ev(1, 0), vec![(5, "table", Access::Read)]),
+            (ev(2, 1), vec![(5, "table", Access::Read)]),
+        ];
+        assert!(check_batch(SimTime(1), &rr).is_empty());
+    }
+
+    #[test]
+    fn explicit_touch_of_another_actor_conflicts_with_implicit_write() {
+        // Event on node 1 reads node 0's actor state while node 0's own
+        // handler (implicit write) runs in the same batch.
+        let items = vec![(ev(1, 0), vec![]), (ev(2, 1), vec![(0, "actor", Access::Read)])];
+        let r = check_batch(SimTime(3), &items);
+        assert_eq!(r.len(), 1);
+        assert_eq!((r[0].node, r[0].class), (0, "actor"));
+    }
+
+    #[test]
+    fn write_dominates_read_within_one_event() {
+        let items = vec![
+            (ev(1, 0), vec![(5, "g", Access::Read), (5, "g", Access::Write)]),
+            (ev(2, 1), vec![(5, "g", Access::Read)]),
+        ];
+        let r = check_batch(SimTime(1), &items);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].first_access, Access::Write);
+    }
+}

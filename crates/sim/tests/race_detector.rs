@@ -1,0 +1,118 @@
+//! Integration tests for the same-instant race detector: an injected
+//! conflicting handler pair must be flagged on the batched drain, the
+//! sequential path must stay silent, and disjoint / read-only footprints
+//! must not alarm.
+
+use tapestry_metric::RingSpace;
+use tapestry_sim::{Access, Actor, Ctx, Engine, NodeIdx, SimTime};
+
+/// A handler that declares one footprint touch per received message.
+struct Toucher {
+    node: NodeIdx,
+    class: &'static str,
+    write: bool,
+}
+
+impl Actor for Toucher {
+    type Msg = ();
+    type Timer = ();
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, (), ()>, _from: NodeIdx, _msg: ()) {
+        if self.write {
+            ctx.note_write(self.node, self.class);
+        } else {
+            ctx.note_read(self.node, self.class);
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, (), ()>, _timer: ()) {}
+}
+
+/// Two-node engine whose nodes touch the cells described by `a` and `b`,
+/// with both deliveries landing at the same instant.
+fn conflict_engine(
+    a: (NodeIdx, &'static str, bool),
+    b: (NodeIdx, &'static str, bool),
+) -> Engine<Toucher> {
+    let space = RingSpace::even(2, 100.0);
+    let mut e = Engine::new(Box::new(space), SimTime(1));
+    e.add_node(0, Toucher { node: a.0, class: a.1, write: a.2 });
+    e.add_node(1, Toucher { node: b.0, class: b.1, write: b.2 });
+    e.inject(0, ());
+    e.inject(1, ()); // same instant (now + proc_delay), distinct nodes
+    e
+}
+
+#[test]
+fn conflicting_same_instant_writes_are_flagged() {
+    if !Engine::<Toucher>::race_detector_compiled() {
+        return; // release build without the feature: hooks are no-ops
+    }
+    let mut e = conflict_engine((7, "shared", true), (7, "shared", true));
+    e.set_threads(2);
+    e.set_race_panic(false);
+    e.run_until_idle_threaded(100);
+    let reports = e.take_race_reports();
+    assert_eq!(reports.len(), 1, "exactly one contended cell");
+    let r = &reports[0];
+    assert_eq!((r.node, r.class), (7, "shared"));
+    assert_eq!(r.at, SimTime(1), "conflict at the injection instant");
+    assert_eq!((r.first.node, r.second.node), (0, 1), "pop order names both events");
+    assert_eq!((r.first_access, r.second_access), (Access::Write, Access::Write));
+    assert_eq!((r.first.kind, r.second.kind), ("deliver", "deliver"));
+}
+
+#[test]
+fn default_policy_panics_on_race() {
+    if !Engine::<Toucher>::race_detector_compiled() {
+        return;
+    }
+    let result = std::panic::catch_unwind(|| {
+        let mut e = conflict_engine((7, "shared", true), (7, "shared", true));
+        e.set_threads(2);
+        e.run_until_idle_threaded(100);
+    });
+    let err = result.expect_err("default policy must panic on a race");
+    let msg = err.downcast_ref::<String>().expect("panic message");
+    assert!(msg.contains("same-instant race"), "report text in panic: {msg}");
+    assert!(msg.contains("node 7"), "contended node named: {msg}");
+}
+
+#[test]
+fn sequential_path_never_flags() {
+    // The identical conflicting pair, but threads = 1: events run one at
+    // a time, nothing executes concurrently, nothing may be reported.
+    let mut e = conflict_engine((7, "shared", true), (7, "shared", true));
+    e.set_threads(1);
+    e.run_until_idle_threaded(100); // would panic if a race were flagged
+    assert!(e.race_reports().is_empty());
+}
+
+#[test]
+fn read_write_conflicts_are_flagged() {
+    if !Engine::<Toucher>::race_detector_compiled() {
+        return;
+    }
+    let mut e = conflict_engine((7, "shared", false), (7, "shared", true));
+    e.set_threads(2);
+    e.set_race_panic(false);
+    e.run_until_idle_threaded(100);
+    let reports = e.take_race_reports();
+    assert_eq!(reports.len(), 1);
+    assert_eq!((reports[0].first_access, reports[0].second_access), (Access::Read, Access::Write));
+}
+
+#[test]
+fn disjoint_cells_and_shared_reads_are_clean() {
+    // Different classes on the same node: independent state, no race.
+    let mut e = conflict_engine((7, "table", true), (7, "store", true));
+    e.set_threads(2);
+    e.run_until_idle_threaded(100); // default panic policy doubles as the assert
+    assert!(e.race_reports().is_empty());
+
+    // Same cell, both read-only: no race either.
+    let mut e = conflict_engine((7, "shared", false), (7, "shared", false));
+    e.set_threads(2);
+    e.run_until_idle_threaded(100);
+    assert!(e.race_reports().is_empty());
+}

@@ -31,6 +31,8 @@
 //! assert!(report.total_ops.completed > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod churn;
 pub mod presets;
 pub mod report;

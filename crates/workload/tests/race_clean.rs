@@ -1,0 +1,27 @@
+//! Clean-run guarantee for the race detector: the committed presets must
+//! drive the whole stack with **zero** same-instant conflicts at every
+//! thread count. The detector's default policy panics on the first race
+//! (debug builds compile it in unconditionally), so simply completing
+//! these runs is the assertion; in a release build without the
+//! `race-detector` feature they degrade to plain determinism runs.
+
+use tapestry_workload::{presets, runner};
+
+#[test]
+fn steady_zipf_runs_race_free_at_all_thread_counts() {
+    for threads in [1, 2, 4] {
+        let spec =
+            presets::preset("steady-zipf", 64, 300, 7).expect("known preset").threads(threads);
+        let report = runner::run(&spec).expect("steady-zipf must run race-free");
+        assert!(report.phases.iter().any(|p| p.ops.completed > 0), "traffic flowed");
+    }
+}
+
+#[test]
+fn churn_scale_runs_race_free_at_all_thread_counts() {
+    for threads in [1, 2, 4] {
+        let spec = presets::churn_scale_preset(96, 400, 11, threads, true);
+        let report = runner::run(&spec).expect("churn-scale must run race-free");
+        assert!(report.phases[1].churn.joins_ok > 0, "churn actually happened");
+    }
+}

@@ -25,6 +25,8 @@
 //! assert_eq!(hit.server.expect("found").idx, server);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use tapestry_baselines as baselines;
 pub use tapestry_core as core;
 pub use tapestry_id as id;

@@ -6,6 +6,8 @@
 //! `get_*`/`put_*` accessors. All multi-byte integers are big-endian,
 //! matching the real crate's `get_u64`/`put_u64` family.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 /// An immutable, cheaply cloneable byte buffer with a read cursor.

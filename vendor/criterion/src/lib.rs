@@ -9,6 +9,8 @@
 //! `--test` (passed by `cargo test --benches`) by running each routine
 //! once.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Prevent the optimizer from eliding a value computation.

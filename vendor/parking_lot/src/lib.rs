@@ -4,6 +4,8 @@
 //! std lock just hands back the inner guard, mirroring parking_lot's
 //! poison-free semantics).
 
+#![forbid(unsafe_code)]
+
 use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// Mutual exclusion without lock poisoning.

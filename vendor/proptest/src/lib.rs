@@ -8,6 +8,8 @@
 //! sampled deterministically from a seed derived from the test name, so
 //! every run explores the same inputs and failures always reproduce.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     /// Error type carried by a failing property-test case.
     #[derive(Clone, Debug)]

@@ -8,6 +8,8 @@
 //! determinism tests compare runs of this generator against itself, which
 //! is the property that matters for reproducibility.
 
+#![forbid(unsafe_code)]
+
 /// Low-level generator interface: a source of uniform 64-bit words.
 pub trait RngCore {
     fn next_u64(&mut self) -> u64;
