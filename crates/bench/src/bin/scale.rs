@@ -10,19 +10,23 @@
 //! scale                                      # 1k/4k/10k/25k, torus, 1+4 threads
 //! scale --nodes 256 --threads 1              # one point, sequential
 //! scale --nodes 1000,10000 --space torus,transit-stub
-//! scale --churn 1000,25000,50000             # churn-scale points (batched
-//!                                            #   joins + solo baseline, side by side)
+//! scale --churn 1000,25000,100000            # churn-scale points (both
+//!                                            #   maintenance modes side by side)
 //! scale --exhaustive-checks                  # every-member Theorem 2 walks
 //! # the committed trajectory:
-//! scale --space torus,transit-stub --churn 1000,25000,50000 --json BENCH_scale.json
+//! scale --space torus,transit-stub --churn 1000,25000,100000 --json BENCH_scale.json
 //! scale --nodes 1000 --sim-json a.json       # deterministic part only
 //! ```
 //!
-//! Churn points run the `churn-scale` preset twice: once with joins
-//! coalesced into shared multicast waves (`tapestry-membership`) and once
-//! through the classic solo-join path, reporting measured mean
-//! `join.messages` per completed join for both — the side-by-side figure
-//! the ROADMAP's dynamic-insertion item asks for.
+//! Churn points run the `churn-scale` preset in **both maintenance
+//! modes**: the classic global-rounds schedule (batched joins plus the
+//! solo-join baseline, reporting measured mean `join.messages` per
+//! completed join side by side) and the incremental fact-driven repair
+//! scheduler (`tapestry-repair`), whose mean repair events per node per
+//! probe round is the O(churn)-not-O(n) figure the maintenance item
+//! asks for. Past [`GLOBAL_ROUNDS_CHURN_MAX`] nodes only the
+//! incremental mode runs — a global repair round there is exactly the
+//! O(n)-per-failure cost the scheduler exists to avoid.
 //!
 //! Every point is run once per `--threads` value and the driver *fails*
 //! unless all thread counts produce byte-identical reports — the
@@ -35,8 +39,18 @@
 //! as a non-determinism gate.
 
 use tapestry_bench::{f2, header, row};
+use tapestry_core::MaintenanceMode;
 use tapestry_workload::presets::{churn_scale_preset, scale_preset, ScaleSpace, SCALE_SIZES};
 use tapestry_workload::{runner, RunTiming, RunTotals, ScenarioReport};
+
+/// Largest churn point that still runs the global-rounds mode (and its
+/// solo-join baseline). Beyond this the point is incremental-only.
+const GLOBAL_ROUNDS_CHURN_MAX: usize = 50_000;
+
+/// Probe rounds a churn-scale run performs (`ProbeAt` in the churn and
+/// settle phases) — the denominator of the repairs-per-node-per-round
+/// column.
+const CHURN_PROBE_ROUNDS: f64 = 2.0;
 
 struct Args {
     nodes: Vec<usize>,
@@ -146,8 +160,16 @@ struct Point {
     churn: Option<ChurnCols>,
 }
 
-/// Measured join cost of one churn point, batched vs the solo baseline.
+/// Churn-point measurements: the global-rounds columns (absent past
+/// [`GLOBAL_ROUNDS_CHURN_MAX`]) and the incremental-mode columns.
 struct ChurnCols {
+    global: Option<GlobalChurnCols>,
+    incr: IncrCols,
+}
+
+/// Measured join cost of one global-rounds churn run, batched vs the
+/// solo baseline.
+struct GlobalChurnCols {
     joins_ok: u64,
     /// Mean `join.messages` per completed join under coalescing.
     join_msgs_mean: f64,
@@ -158,6 +180,23 @@ struct ChurnCols {
     seq_join_msgs_mean: f64,
     /// The solo sibling's full report (for `--sim-json`).
     seq_report: ScenarioReport,
+}
+
+/// Measured incremental-maintenance columns of one churn point.
+struct IncrCols {
+    joins_ok: u64,
+    repair_facts: u64,
+    repair_events: u64,
+    repair_promotions: u64,
+    /// Mean targeted repairs released per node per probe round — the
+    /// figure that must stay flat as n grows for maintenance cost to be
+    /// O(churn rate) instead of O(n).
+    repair_events_per_node_round: f64,
+    /// Per-`--threads`-value wall seconds of the incremental run
+    /// (parallel to the point's `threads` array).
+    wall_secs: Vec<f64>,
+    /// The incremental run's full report (for `--sim-json`).
+    report: ScenarioReport,
 }
 
 /// Sum a named counter across every phase of a report.
@@ -190,17 +229,33 @@ fn point_json(p: &Point, ops: u64, seed: u64) -> String {
     let r = &p.report;
     let churn = match &p.churn {
         None => String::new(),
-        Some(c) => format!(
-            ",\"churn\":{{\"joins_ok\":{},\"join_msgs_mean\":{:.3},\
-             \"waves\":{},\"mean_batch\":{:.3},\
-             \"joins_ok_seq\":{},\"join_msgs_mean_seq\":{:.3}}}",
-            c.joins_ok,
-            c.join_msgs_mean,
-            c.waves,
-            c.mean_batch,
-            c.seq_joins_ok,
-            c.seq_join_msgs_mean,
-        ),
+        Some(c) => {
+            let incr = format!(
+                "\"incr\":{{\"joins_ok\":{},\"repair_facts\":{},\"repair_events\":{},\
+                 \"repair_promotions\":{},\"repair_events_per_node_round\":{:.3},\
+                 \"wall_secs\":[{}]}}",
+                c.incr.joins_ok,
+                c.incr.repair_facts,
+                c.incr.repair_events,
+                c.incr.repair_promotions,
+                c.incr.repair_events_per_node_round,
+                join_f3(c.incr.wall_secs.iter().copied()),
+            );
+            match &c.global {
+                Some(g) => format!(
+                    ",\"churn\":{{\"joins_ok\":{},\"join_msgs_mean\":{:.3},\
+                     \"waves\":{},\"mean_batch\":{:.3},\
+                     \"joins_ok_seq\":{},\"join_msgs_mean_seq\":{:.3},{incr}}}",
+                    g.joins_ok,
+                    g.join_msgs_mean,
+                    g.waves,
+                    g.mean_batch,
+                    g.seq_joins_ok,
+                    g.seq_join_msgs_mean,
+                ),
+                None => format!(",\"churn\":{{{incr}}}"),
+            }
+        }
     };
     format!(
         "{{\"nodes\":{},\"space\":\"{}\",\"seed\":{},\"ops\":{},\
@@ -236,6 +291,59 @@ fn point_json(p: &Point, ops: u64, seed: u64) -> String {
     )
 }
 
+/// Run one spec per `--threads` value and enforce the determinism gate:
+/// byte-identical reports and identical engine totals at every thread
+/// count (the contract CI's `determinism-matrix` job enforces on the
+/// scenario presets, enforced here on every scale point, every run).
+fn run_across_threads(
+    label: &str,
+    threads: &[usize],
+    build: impl Fn(usize) -> tapestry_workload::ScenarioSpec,
+) -> Point {
+    let mut point: Option<Point> = None;
+    for &t in threads {
+        let (report, totals, timing) = match runner::run_timed(&build(t)) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("{label}: {e}");
+                std::process::exit(1)
+            }
+        };
+        match &mut point {
+            None => {
+                point = Some(Point {
+                    report,
+                    totals,
+                    threads: vec![t],
+                    timings: vec![timing],
+                    churn: None,
+                })
+            }
+            Some(p) => {
+                let (a, b) = (p.report.to_json(), report.to_json());
+                if a != b || p.totals != totals {
+                    eprintln!(
+                        "{label}: report diverged between --threads {} and {t}",
+                        p.threads[0]
+                    );
+                    if let Some(d) = tapestry_bench::diff_summary(&a, &b) {
+                        eprintln!("{d}");
+                    } else {
+                        eprintln!(
+                            "reports match; engine totals differ: {:?} vs {totals:?}",
+                            p.totals
+                        );
+                    }
+                    std::process::exit(1)
+                }
+                p.threads.push(t);
+                p.timings.push(timing);
+            }
+        }
+    }
+    point.expect("at least one thread count")
+}
+
 fn main() {
     let args = parse_args();
     let mut points = Vec::new();
@@ -248,120 +356,86 @@ fn main() {
     };
     for &space in &args.spaces {
         for &n in &args.nodes {
-            let mut point: Option<Point> = None;
-            for &threads in &args.threads {
-                let spec = finish(scale_preset(n, args.ops, args.seed, space, threads));
-                let (report, totals, timing) = match runner::run_timed(&spec) {
-                    Ok(x) => x,
-                    Err(e) => {
-                        eprintln!("scale({n}, {space:?}): {e}");
-                        std::process::exit(1)
-                    }
-                };
-                match &mut point {
-                    None => {
-                        point = Some(Point {
-                            report,
-                            totals,
-                            threads: vec![threads],
-                            timings: vec![timing],
-                            churn: None,
-                        })
-                    }
-                    Some(p) => {
-                        // The determinism gate: byte-identical reports and
-                        // identical engine totals at every thread count.
-                        let (a, b) = (p.report.to_json(), report.to_json());
-                        if a != b || p.totals != totals {
-                            eprintln!(
-                                "scale({n}, {space:?}): report diverged between --threads {} and {threads}",
-                                p.threads[0]
-                            );
-                            if let Some(d) = tapestry_bench::diff_summary(&a, &b) {
-                                eprintln!("{d}");
-                            } else {
-                                eprintln!(
-                                    "reports match; engine totals differ: {:?} vs {totals:?}",
-                                    p.totals
-                                );
-                            }
-                            std::process::exit(1)
-                        }
-                        p.threads.push(threads);
-                        p.timings.push(timing);
-                    }
-                }
-            }
-            points.push(point.expect("at least one thread count"));
+            points.push(run_across_threads(
+                &format!("scale({n}, {space:?})"),
+                &args.threads,
+                |t| finish(scale_preset(n, args.ops, args.seed, space, t)),
+            ));
         }
     }
 
-    // Churn trajectory points: the batched run per thread count (with the
-    // same determinism gate), then the solo-join baseline once, reported
-    // side by side.
+    // Churn trajectory points. Incremental maintenance runs at every
+    // thread count under the determinism gate; up to
+    // GLOBAL_ROUNDS_CHURN_MAX the classic global-rounds run (plus the
+    // solo-join baseline) rides alongside for the mode comparison.
     for &n in &args.churn {
-        let mut point: Option<Point> = None;
-        for &threads in &args.threads {
-            let spec = finish(churn_scale_preset(n, args.ops, args.seed, threads, true));
-            let (report, totals, timing) = match runner::run_timed(&spec) {
-                Ok(x) => x,
+        let incr_point =
+            run_across_threads(&format!("churn-scale-incr({n})"), &args.threads, |t| {
+                finish(churn_scale_preset(
+                    n,
+                    args.ops,
+                    args.seed,
+                    t,
+                    true,
+                    MaintenanceMode::Incremental,
+                ))
+            });
+        let nodes = incr_point.report.initial_nodes as f64;
+        let repair_events = counter_total(&incr_point.report, "repair.events");
+        let incr = IncrCols {
+            joins_ok: joins_total(&incr_point.report),
+            repair_facts: counter_total(&incr_point.report, "repair.facts"),
+            repair_events,
+            repair_promotions: counter_total(&incr_point.report, "repair.promotions"),
+            repair_events_per_node_round: repair_events as f64 / nodes / CHURN_PROBE_ROUNDS,
+            wall_secs: incr_point.timings.iter().map(|t| t.bootstrap_secs + t.drive_secs).collect(),
+            report: incr_point.report.clone(),
+        };
+        let mut point = if n <= GLOBAL_ROUNDS_CHURN_MAX {
+            run_across_threads(&format!("churn-scale({n})"), &args.threads, |t| {
+                finish(churn_scale_preset(
+                    n,
+                    args.ops,
+                    args.seed,
+                    t,
+                    true,
+                    MaintenanceMode::GlobalRounds,
+                ))
+            })
+        } else {
+            incr_point
+        };
+        let global = if n <= GLOBAL_ROUNDS_CHURN_MAX {
+            let seq_spec = finish(churn_scale_preset(
+                n,
+                args.ops,
+                args.seed,
+                args.threads[0],
+                false,
+                MaintenanceMode::GlobalRounds,
+            ));
+            let seq_report = match runner::run(&seq_spec) {
+                Ok(r) => r,
                 Err(e) => {
-                    eprintln!("churn-scale({n}): {e}");
+                    eprintln!("churn-scale-seq({n}): {e}");
                     std::process::exit(1)
                 }
             };
-            match &mut point {
-                None => {
-                    point = Some(Point {
-                        report,
-                        totals,
-                        threads: vec![threads],
-                        timings: vec![timing],
-                        churn: None,
-                    })
-                }
-                Some(p) => {
-                    let (a, b) = (p.report.to_json(), report.to_json());
-                    if a != b || p.totals != totals {
-                        eprintln!(
-                            "churn-scale({n}): report diverged between --threads {} and {threads}",
-                            p.threads[0]
-                        );
-                        if let Some(d) = tapestry_bench::diff_summary(&a, &b) {
-                            eprintln!("{d}");
-                        } else {
-                            eprintln!(
-                                "reports match; engine totals differ: {:?} vs {totals:?}",
-                                p.totals
-                            );
-                        }
-                        std::process::exit(1)
-                    }
-                    p.threads.push(threads);
-                    p.timings.push(timing);
-                }
-            }
-        }
-        let mut point = point.expect("at least one thread count");
-        let seq_spec = finish(churn_scale_preset(n, args.ops, args.seed, args.threads[0], false));
-        let seq_report = match runner::run(&seq_spec) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("churn-scale-seq({n}): {e}");
-                std::process::exit(1)
-            }
+            let waves = counter_total(&point.report, "multicast.batch_waves");
+            let batch_joins = counter_total(&point.report, "multicast.batch_joins");
+            Some(GlobalChurnCols {
+                joins_ok: joins_total(&point.report),
+                join_msgs_mean: join_msgs_mean(&point.report),
+                waves,
+                mean_batch: if waves == 0 { 0.0 } else { batch_joins as f64 / waves as f64 },
+                seq_joins_ok: joins_total(&seq_report),
+                seq_join_msgs_mean: join_msgs_mean(&seq_report),
+                seq_report,
+            })
+        } else {
+            None
         };
-        let waves = counter_total(&point.report, "multicast.batch_waves");
-        let batch_joins = counter_total(&point.report, "multicast.batch_joins");
-        point.churn = Some(ChurnCols {
-            joins_ok: joins_total(&point.report),
-            join_msgs_mean: join_msgs_mean(&point.report),
-            waves,
-            mean_batch: if waves == 0 { 0.0 } else { batch_joins as f64 / waves as f64 },
-            seq_joins_ok: joins_total(&seq_report),
-            seq_join_msgs_mean: join_msgs_mean(&seq_report),
-            seq_report,
-        });
+        point.churn = Some(ChurnCols { global, incr });
         points.push(point);
     }
 
@@ -390,16 +464,29 @@ fn main() {
         }
         for p in &points {
             if let Some(c) = &p.churn {
+                if let Some(g) = &c.global {
+                    println!(
+                        "churn-scale {}: batched {} joins, {:.1} msgs/join mean \
+                         ({} waves, mean batch {:.1}) | solo {} joins, {:.1} msgs/join mean",
+                        p.report.initial_nodes,
+                        g.joins_ok,
+                        g.join_msgs_mean,
+                        g.waves,
+                        g.mean_batch,
+                        g.seq_joins_ok,
+                        g.seq_join_msgs_mean,
+                    );
+                }
                 println!(
-                    "churn-scale {}: batched {} joins, {:.1} msgs/join mean \
-                     ({} waves, mean batch {:.1}) | solo {} joins, {:.1} msgs/join mean",
-                    p.report.initial_nodes,
-                    c.joins_ok,
-                    c.join_msgs_mean,
-                    c.waves,
-                    c.mean_batch,
-                    c.seq_joins_ok,
-                    c.seq_join_msgs_mean,
+                    "churn-scale-incr {}: {} joins | {} facts -> {} repairs \
+                     ({} promotions), {:.2} repairs/node/round | wall [{}] s",
+                    c.incr.report.initial_nodes,
+                    c.incr.joins_ok,
+                    c.incr.repair_facts,
+                    c.incr.repair_events,
+                    c.incr.repair_promotions,
+                    c.incr.repair_events_per_node_round,
+                    join_f3(c.incr.wall_secs.iter().copied()),
                 );
             }
         }
@@ -422,7 +509,12 @@ fn main() {
         for p in &points {
             reports.push(p.report.to_json());
             if let Some(c) = &p.churn {
-                reports.push(c.seq_report.to_json());
+                if let Some(g) = &c.global {
+                    reports.push(g.seq_report.to_json());
+                    // The incremental report is distinct from the point's
+                    // own (global-rounds) report only when both ran.
+                    reports.push(c.incr.report.to_json());
+                }
             }
         }
         std::fs::write(path, format!("[{}]", reports.join(",")))

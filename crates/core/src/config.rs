@@ -1,4 +1,5 @@
 use tapestry_id::IdSpace;
+use tapestry_repair::MaintenanceMode;
 use tapestry_sim::SimTime;
 
 /// The two localized surrogate-routing variants of §2.3.
@@ -66,6 +67,16 @@ pub struct TapestryConfig {
     /// responses at one level before proceeding with whatever arrived
     /// (makes insertion robust to nodes dying mid-insert).
     pub insert_level_timeout: SimTime,
+    /// How the mesh is kept healthy under churn: PR 5's synchronized
+    /// global probe/optimize rounds (the committed-report baseline) or
+    /// fact-driven incremental repair (staleness facts → targeted
+    /// `(level, digit)` repair events under a budget).
+    pub maintenance: MaintenanceMode,
+    /// Incremental-repair budget: repair events per node per maintenance
+    /// second (see `tapestry_repair::REPAIR_TICK`). Zero freezes the
+    /// scheduler — facts accumulate (bounded) but nothing is repaired.
+    /// Ignored under `MaintenanceMode::GlobalRounds`.
+    pub repairs_per_sec_per_node: u32,
     /// Enable the §6.3 transit-stub locality enhancement: publishes and
     /// queries spawn a local branch that never leaves the stub. Requires
     /// the driver to supply stub assignments.
@@ -117,6 +128,8 @@ impl Default for TapestryConfig {
             republish_interval: SimTime::ZERO,
             heartbeat_interval: SimTime::ZERO,
             insert_level_timeout: SimTime::from_distance(50_000.0),
+            maintenance: MaintenanceMode::GlobalRounds,
+            repairs_per_sec_per_node: 16,
             local_stub_optimization: false,
             stub_latency_threshold: 0.0,
         }

@@ -16,7 +16,9 @@
 use crate::messages::{Msg, OpId, RoutedKind, RoutedMsg, Timer};
 use crate::node::{InsertState, NodeStatus, TapestryNode};
 use crate::refs::NodeRef;
+use crate::repair::RepairTask;
 use std::collections::BTreeSet;
+use tapestry_repair::FactKind;
 use tapestry_sim::{Ctx, NodeIdx};
 
 impl TapestryNode {
@@ -276,6 +278,12 @@ impl TapestryNode {
             return;
         }
         ctx.count("insert.level_timeout", 1);
+        // Each list member that never answered is staleness evidence:
+        // queue a targeted removal instead of waiting for a probe round.
+        let silent: Vec<NodeIdx> = ins.pending.iter().copied().collect();
+        for peer in silent {
+            self.record_fact(ctx, FactKind::FailedContact, RepairTask::RemoveDead { peer });
+        }
         self.finalize_level(ctx, level);
     }
 

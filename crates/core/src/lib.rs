@@ -41,6 +41,7 @@ mod network;
 mod node;
 mod object_store;
 mod refs;
+mod repair;
 mod route;
 mod routing_table;
 pub mod wire;
@@ -53,3 +54,4 @@ pub use node::{BatchJoinInfo, NodeStatus, TapestryNode};
 pub use object_store::{ObjectStore, PtrEntry};
 pub use refs::NodeRef;
 pub use routing_table::{Hop, RoutingTable, TableAddOutcome};
+pub use tapestry_repair::MaintenanceMode;

@@ -6,7 +6,9 @@ use crate::messages::{Msg, OpId, RoutedKind, RoutedMsg, Timer, WirePtr};
 use crate::node::{LeaveState, NodeStatus, TapestryNode};
 use crate::object_store::PtrEntry;
 use crate::refs::NodeRef;
+use crate::repair::RepairTask;
 use tapestry_id::Prefix;
+use tapestry_repair::FactKind;
 use tapestry_sim::{Ctx, NodeIdx, SimTime};
 
 impl TapestryNode {
@@ -318,16 +320,25 @@ impl TapestryNode {
         ctx.set_timer(self.cfg.insert_level_timeout, Timer::ProbeDeadline { nonce });
     }
 
-    /// A neighbor answered the current round.
-    pub(crate) fn on_pong(&mut self, _ctx: &mut Ctx<'_, Msg, Timer>, from: NodeIdx, nonce: u64) {
+    /// A neighbor answered the current round. An answer carrying a stale
+    /// nonce missed its round's deadline — the sender is slow or
+    /// flapping, not dead. It was (or is about to be) dropped by that
+    /// round's deadline handler, so under incremental maintenance the
+    /// late ack becomes a re-admission fact instead of being discarded
+    /// (which would leave the node re-declared dead every round).
+    pub(crate) fn on_pong(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, who: NodeRef, nonce: u64) {
         if nonce == self.probe.nonce {
-            self.probe.awaiting.remove(&from);
+            self.probe.awaiting.remove(&who.idx);
+        } else {
+            self.record_fact(ctx, FactKind::LateProbeAck, RepairTask::Readmit { peer: who });
         }
     }
 
     /// Probe deadline: every silent neighbor is declared dead. Fix local
     /// state only (the paper's lazy stance): drop it everywhere, search
     /// for replacements for any hole it leaves, and re-route pointers.
+    /// Incremental maintenance records the evidence instead and lets the
+    /// budgeted scheduler run the (targeted) removal.
     pub(crate) fn on_probe_deadline(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, nonce: u64) {
         if nonce != self.probe.nonce {
             return;
@@ -335,7 +346,12 @@ impl TapestryNode {
         let dead: Vec<NodeIdx> = std::mem::take(&mut self.probe.awaiting).into_iter().collect();
         for d in dead {
             ctx.count("repair.detected_dead", 1);
-            self.handle_dead_neighbor(ctx, d);
+            if self.incremental() {
+                self.dead_list.insert(d);
+                self.record_fact(ctx, FactKind::MissedProbeAck, RepairTask::RemoveDead { peer: d });
+            } else {
+                self.handle_dead_neighbor(ctx, d);
+            }
         }
     }
 
@@ -388,7 +404,9 @@ impl TapestryNode {
             self.table
                 .slot(lvl, digit)
                 .iter()
-                .filter(|r| r.idx != dead && r.idx != reply_to.idx)
+                .filter(|r| {
+                    r.idx != dead && r.idx != reply_to.idx && !self.dead_list.contains(&r.idx)
+                })
                 .collect()
         } else {
             Vec::new()

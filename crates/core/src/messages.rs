@@ -342,6 +342,10 @@ pub enum Msg {
     Pong {
         /// Echoed nonce.
         nonce: u64,
+        /// The responding node (a stale-nonce response still identifies a
+        /// *live* neighbor — incremental repair re-admits it instead of
+        /// re-declaring it dead every round).
+        me: NodeRef,
     },
     /// "Do you know live `(prefix·digit)` nodes other than `dead`?" — the
     /// local replacement search of §5.2.
@@ -418,6 +422,10 @@ pub enum Timer {
         /// Nonce of the probe round.
         nonce: u64,
     },
+    /// Incremental maintenance: release one budget's worth of queued
+    /// repair tasks. Armed only while the node's staleness ledger is
+    /// non-empty (reactive — an idle mesh schedules nothing).
+    RepairTick,
     /// Deadline for a shared wave's child acknowledgments (batched joins
     /// only): a child killed mid-wave would otherwise strand the whole
     /// batch, so the session force-completes and the unreached subtree

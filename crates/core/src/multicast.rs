@@ -31,7 +31,9 @@
 use crate::messages::{BatchInsertee, Msg, OpId, Timer, WirePtr};
 use crate::node::{McastSession, TapestryNode};
 use crate::refs::NodeRef;
+use crate::repair::RepairTask;
 use tapestry_id::Prefix;
+use tapestry_repair::FactKind;
 use tapestry_sim::{Ctx, NodeIdx};
 
 impl TapestryNode {
@@ -93,9 +95,22 @@ impl TapestryNode {
 
         // ---- forward along one unpinned + all pinned pointers per child
         let mut children: Vec<(Prefix, NodeRef)> = Vec::new();
-        let deferred = self.gather_children(prefix, &mut children);
-        if deferred > 0 {
-            ctx.count("multicast.fanout_deferred", deferred);
+        let mut deferred: Vec<(Prefix, NodeRef)> = Vec::new();
+        self.gather_children(prefix, &mut children, &mut deferred);
+        if !deferred.is_empty() {
+            ctx.count("multicast.fanout_deferred", deferred.len() as u64);
+            // Deferred subtrees heal via targeted repair: reintroduce the
+            // insertee to each deferred branch's representative instead of
+            // waiting for a global round (no-op under GlobalRounds).
+            for &(p, rep) in &deferred {
+                if rep.idx != new_node.idx {
+                    self.record_fact(
+                        ctx,
+                        FactKind::DeferredBranch,
+                        RepairTask::Reintroduce { rep, insertee: new_node, level: p.len() },
+                    );
+                }
+            }
         }
         children.retain(|(_, r)| r.idx != self.me.idx && r.idx != new_node.idx);
         children.sort_by_key(|(_, r)| r.idx);
@@ -212,9 +227,25 @@ impl TapestryNode {
         }
 
         let mut children: Vec<(Prefix, NodeRef)> = Vec::new();
-        let deferred = self.gather_children(prefix, &mut children);
-        if deferred > 0 {
-            ctx.count("multicast.fanout_deferred", deferred);
+        let mut deferred: Vec<(Prefix, NodeRef)> = Vec::new();
+        self.gather_children(prefix, &mut children, &mut deferred);
+        if !deferred.is_empty() {
+            ctx.count("multicast.fanout_deferred", deferred.len() as u64);
+            // Same healing as the solo wave, per prefix-compatible
+            // insertee (the branch would only have carried those).
+            for &(p, rep) in &deferred {
+                for ins in &insertees {
+                    if (ins.prefix.contains(&p) || p.contains(&ins.prefix))
+                        && rep.idx != ins.new_node.idx
+                    {
+                        self.record_fact(
+                            ctx,
+                            FactKind::DeferredBranch,
+                            RepairTask::Reintroduce { rep, insertee: ins.new_node, level: p.len() },
+                        );
+                    }
+                }
+            }
         }
         children
             .retain(|(_, r)| r.idx != self.me.idx && !fwd.iter().any(|i| i.new_node.idx == r.idx));
@@ -274,18 +305,24 @@ impl TapestryNode {
     ///
     /// With `TapestryConfig::multicast_fanout` set, at most that many
     /// *unpinned* child branches are forwarded per level (lowest digits
-    /// first — deterministic); the return value counts branches deferred
-    /// to soft-state repair. Pinned entries are always forwarded: §4.4
-    /// requires every multicast through a pinned slot to reach the
-    /// in-flight insertee, bound or no bound.
-    fn gather_children(&self, prefix: Prefix, out: &mut Vec<(Prefix, NodeRef)>) -> u64 {
+    /// first — deterministic); branches deferred to soft-state repair are
+    /// collected into `deferred` (their count is the
+    /// `multicast.fanout_deferred` figure, and incremental maintenance
+    /// turns each into a targeted reintroduction). Pinned entries are
+    /// always forwarded: §4.4 requires every multicast through a pinned
+    /// slot to reach the in-flight insertee, bound or no bound.
+    fn gather_children(
+        &self,
+        prefix: Prefix,
+        out: &mut Vec<(Prefix, NodeRef)>,
+        deferred: &mut Vec<(Prefix, NodeRef)>,
+    ) {
         let l = prefix.len();
         if l >= self.table.levels() {
-            return 0;
+            return;
         }
         let bound = self.cfg.multicast_fanout.unwrap_or(usize::MAX);
         let mut width = 0usize;
-        let mut deferred = 0u64;
         for j in 0..self.table.base() as u8 {
             let slot = self.table.slot(l, j);
             if slot.is_empty() {
@@ -293,13 +330,13 @@ impl TapestryNode {
             }
             let ext = prefix.extend(j);
             match slot.first_unpinned() {
-                Some(u) if u.idx == self.me.idx => deferred += self.gather_children(ext, out),
+                Some(u) if u.idx == self.me.idx => self.gather_children(ext, out, deferred),
                 Some(u) => {
                     if width < bound {
                         out.push((ext, u));
                         width += 1;
                     } else {
-                        deferred += 1;
+                        deferred.push((ext, u));
                     }
                 }
                 None => {}
@@ -310,7 +347,6 @@ impl TapestryNode {
                 }
             }
         }
-        deferred
     }
 
     /// Fig. 11 watch list: report nodes that fill the new node's watched

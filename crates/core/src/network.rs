@@ -14,6 +14,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
 use tapestry_id::{root_id, Guid, Id};
 use tapestry_metric::{MetricSpace, NearestIndex};
+use tapestry_repair::MaintenanceMode;
 use tapestry_sim::{Engine, NodeIdx, SimTime};
 
 /// Outcome of one locate operation, as observed at its origin.
@@ -199,8 +200,13 @@ impl TapestryNetwork {
                 ids.push(id);
             }
         }
+        let mut engine = Engine::new(space, SimTime(1));
+        // Incremental maintenance feeds on failed-contact evidence; the
+        // global-rounds path must stay byte-identical, so the notices
+        // (and the events they add) exist only in incremental mode.
+        engine.set_failure_notices(cfg.maintenance == MaintenanceMode::Incremental);
         TapestryNetwork {
-            engine: Engine::new(space, SimTime(1)),
+            engine,
             cfg,
             ids,
             members: Vec::new(),

@@ -3,11 +3,13 @@ use crate::messages::{Msg, OpId, Timer};
 use crate::network::LocateResult;
 use crate::object_store::ObjectStore;
 use crate::refs::NodeRef;
+use crate::repair::RepairTask;
 use crate::routing_table::RoutingTable;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet};
 use tapestry_id::Id;
+use tapestry_repair::{FactKind, RepairLedger};
 use tapestry_sim::{Actor, Ctx, NodeIdx};
 
 /// Lifecycle of a Tapestry node.
@@ -129,6 +131,20 @@ pub struct TapestryNode {
     pub(crate) locate_results: Vec<LocateResult>,
     /// Locates issued here and still in flight: op → (guid, issue time).
     pub(crate) pending_locates: BTreeMap<OpId, (tapestry_id::Guid, tapestry_sim::SimTime)>,
+    /// Staleness-fact ledger and budgeted repair scheduler (incremental
+    /// maintenance only; stays empty under `GlobalRounds`).
+    pub(crate) repair: RepairLedger<RepairTask>,
+    /// Death certificates: peers declared dead by strong evidence (a
+    /// bounced message or a missed probe ack). Stale `Candidates` /
+    /// `ShareTable` gossip keeps naming dead nodes long after they are
+    /// excised; without this set each mention re-adds the corpse, the
+    /// next contact bounces, and the remove/re-query cycle repeats —
+    /// amplifying repair traffic super-linearly with n. Entries are
+    /// retired by a late probe ack (`Readmit`, the flapping path); node
+    /// indices are never reused, so there is no expiry. Only populated
+    /// under incremental maintenance, so checks against it are no-ops
+    /// (and byte-identity-safe) under `GlobalRounds`.
+    pub(crate) dead_list: BTreeSet<NodeIdx>,
     pub(crate) rng: StdRng,
 }
 
@@ -161,6 +177,8 @@ impl TapestryNode {
             probe: ProbeState::default(),
             locate_results: Vec::new(),
             pending_locates: BTreeMap::new(),
+            repair: RepairLedger::new(),
+            dead_list: BTreeSet::new(),
             rng: StdRng::seed_from_u64(seed ^ (me.idx as u64).wrapping_mul(0x9E37_79B9)),
         }
     }
@@ -262,7 +280,7 @@ impl TapestryNode {
     /// Measure, insert into the routing table, and maintain backpointers
     /// (`AddToTableIfCloser` with the §2.1 backpointer discipline).
     pub(crate) fn consider_neighbor(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, r: NodeRef) {
-        if r.idx == self.me.idx {
+        if r.idx == self.me.idx || self.dead_list.contains(&r.idx) {
             return;
         }
         let dist = ctx.distance_to(r.idx);
@@ -274,6 +292,10 @@ impl TapestryNode {
         for e in outcome.evicted {
             if !self.table.contains(e.idx) {
                 ctx.send(e.idx, Msg::RemovedYou { me: self.me });
+                // The evictee is alive but no longer routes through us —
+                // pointers that traveled via it deserve a re-route once
+                // the budget allows (no-op under GlobalRounds).
+                self.record_fact(ctx, FactKind::Eviction, RepairTask::ReRoute { peer: e.idx });
             }
         }
     }
@@ -354,8 +376,8 @@ impl Actor for TapestryNode {
             Msg::Leaving { me, replacements } => self.on_leaving(ctx, me, replacements),
             Msg::LeaveFinal { me } => self.on_leave_final(ctx, me),
             Msg::LeaveAck { me } => self.on_leave_ack(ctx, me),
-            Msg::Ping { nonce } => ctx.send(from, Msg::Pong { nonce }),
-            Msg::Pong { nonce } => self.on_pong(ctx, from, nonce),
+            Msg::Ping { nonce } => ctx.send(from, Msg::Pong { nonce, me: self.me }),
+            Msg::Pong { nonce, me } => self.on_pong(ctx, me, nonce),
             Msg::FindReplacement { op, prefix, digit, dead, reply_to } => {
                 self.on_find_replacement(ctx, op, prefix, digit, dead, reply_to)
             }
@@ -381,12 +403,43 @@ impl Actor for TapestryNode {
         match timer {
             Timer::Republish(guid) => self.on_republish_timer(ctx, guid),
             Timer::ExpirySweep => {
-                self.store.sweep(ctx.now);
+                if self.incremental() {
+                    // Expired pointers for objects stored *here* are
+                    // soft-state losses we can heal: queue a republish.
+                    for guid in self.store.sweep_expired(ctx.now) {
+                        if self.store.has_local(guid) {
+                            self.record_fact(
+                                ctx,
+                                FactKind::ExpiredPointer,
+                                RepairTask::Republish { guid },
+                            );
+                        }
+                    }
+                } else {
+                    self.store.sweep(ctx.now);
+                }
             }
             Timer::Heartbeat => self.on_heartbeat_timer(ctx),
             Timer::InsertLevelTimeout { op, level } => self.on_insert_timeout(ctx, op, level),
             Timer::ProbeDeadline { nonce } => self.on_probe_deadline(ctx, nonce),
             Timer::McastDeadline { op } => self.on_mcast_deadline(ctx, op),
+            Timer::RepairTick => self.on_repair_tick(ctx),
         }
+    }
+
+    /// Transport failure notice (enabled only under incremental
+    /// maintenance): a message we sent bounced off a dead node — the
+    /// "failed Hello" staleness fact. A bounce is authoritative, so the
+    /// peer earns a death certificate; once it is fully excised, further
+    /// bounces carry no new evidence and are not recorded.
+    fn on_contact_failed(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, peer: NodeIdx) {
+        let excised = self.dead_list.contains(&peer)
+            && !self.table.contains(peer)
+            && !self.backptrs.contains_key(&peer);
+        if excised {
+            return;
+        }
+        self.dead_list.insert(peer);
+        self.record_fact(ctx, FactKind::FailedContact, RepairTask::RemoveDead { peer });
     }
 }

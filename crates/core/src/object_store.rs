@@ -102,6 +102,23 @@ impl ObjectStore {
         dropped
     }
 
+    /// Like [`ObjectStore::sweep`], but returns the GUIDs that lost at
+    /// least one pointer (GUID order — `BTreeMap` iteration). The
+    /// incremental-repair path turns expired pointers for locally stored
+    /// replicas into republish facts instead of waiting for a round.
+    pub fn sweep_expired(&mut self, now: SimTime) -> Vec<Guid> {
+        let mut out = Vec::new();
+        self.ptrs.retain(|&g, v| {
+            let before = v.len();
+            v.retain(|e| e.expires > now);
+            if v.len() < before {
+                out.push(g);
+            }
+            !v.is_empty()
+        });
+        out
+    }
+
     /// GUIDs for which this node currently believes it is the root.
     pub fn rooted_guids(&self, now: SimTime) -> Vec<Guid> {
         self.ptrs
@@ -182,6 +199,17 @@ mod tests {
         assert_eq!(st.sweep(SimTime(200)), 1);
         assert_eq!(st.ptr_count(), 1);
         assert_eq!(st.rooted_guids(SimTime(200)), vec![g(2)]);
+    }
+
+    #[test]
+    fn sweep_expired_names_the_guids() {
+        let mut st = ObjectStore::new();
+        st.deposit(g(1), entry(10, 100, false));
+        st.deposit(g(2), entry(11, 500, true));
+        st.deposit(g(2), entry(12, 150, false));
+        assert_eq!(st.sweep_expired(SimTime(200)), vec![g(1), g(2)], "both lost a pointer");
+        assert_eq!(st.ptr_count(), 1, "g(2)'s live pointer survives");
+        assert!(st.sweep_expired(SimTime(200)).is_empty(), "nothing left to lapse");
     }
 
     #[test]

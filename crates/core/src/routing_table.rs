@@ -157,6 +157,13 @@ impl RoutingTable {
         self.slots.iter().any(|s| s.contains(idx))
     }
 
+    /// Number of slots referencing `idx` — removal's backup-promotion
+    /// accounting (slots occupied minus holes created = slots where a
+    /// backup entry was promoted to primary, §3 redundancy).
+    pub fn occupancy(&self, idx: NodeIdx) -> usize {
+        self.slots.iter().filter(|s| s.contains(idx)).count()
+    }
+
     /// Every distinct node referenced by the table (excluding the owner),
     /// in deterministic order.
     pub fn all_refs(&self) -> Vec<NodeRef> {
@@ -405,6 +412,18 @@ mod tests {
         t.add_if_closer(b, 6.0, 3);
         assert!(t.remove_node(1).is_empty(), "slot still has node 2");
         assert_eq!(t.remove_node(2), vec![(0, 5)], "slot (0,5) became a hole");
+    }
+
+    #[test]
+    fn occupancy_counts_slots_for_promotion_accounting() {
+        let mut t = table(0x4227_0000);
+        // 4111… sits in its divergence slot (1,1) and nested N_{ε,4}.
+        t.add_if_closer(nref(1, 0x4111_0000), 2.0, 3);
+        assert_eq!(t.occupancy(1), 2);
+        assert_eq!(t.occupancy(9), 0);
+        let occupied = t.occupancy(1);
+        let holes = t.remove_node(1).len();
+        assert_eq!(occupied - holes, 1, "the N_{{ε,4}} slot kept its owner entry");
     }
 
     #[test]

@@ -117,6 +117,7 @@ pub const WORKSPACE_TARGETS: &[(&str, GateClass)] = &[
     ("crates/membership/src", GateClass::Deterministic),
     ("crates/metric/src", GateClass::Deterministic),
     ("crates/prrv0/src", GateClass::Deterministic),
+    ("crates/repair/src", GateClass::Deterministic),
     ("crates/sim/src", GateClass::Deterministic),
     ("crates/workload/src", GateClass::Deterministic),
     ("crates/bench/src", GateClass::Observational),

@@ -30,6 +30,15 @@ pub trait Actor {
 
     /// Handle an expired timer previously set through [`Ctx::set_timer`].
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, timer: Self::Timer);
+
+    /// A message this node sent to `peer` bounced off a dead target — the
+    /// transport-level failure notice behind incremental repair's "failed
+    /// Hello" facts. Only delivered when the engine has
+    /// [`Engine::set_failure_notices`] enabled; the default ignores it,
+    /// preserving the silent-drop behaviour existing actors rely on.
+    fn on_contact_failed(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, peer: NodeIdx) {
+        let _ = (ctx, peer);
+    }
 }
 
 enum Effect<M, T> {
@@ -112,8 +121,22 @@ impl<M, T> Ctx<'_, M, T> {
 }
 
 enum Event<M, T> {
-    Deliver { from: NodeIdx, to: NodeIdx, msg: M },
-    Fire { node: NodeIdx, timer: T },
+    Deliver {
+        from: NodeIdx,
+        to: NodeIdx,
+        msg: M,
+    },
+    Fire {
+        node: NodeIdx,
+        timer: T,
+    },
+    /// Failure notice: a message `node` sent to `peer` found it dead.
+    /// Scheduled only when failure notices are enabled; arrives after the
+    /// round trip (the sender learns by its own timeout/ICMP analogue).
+    ContactFailed {
+        node: NodeIdx,
+        peer: NodeIdx,
+    },
 }
 
 impl<M, T> Event<M, T> {
@@ -122,6 +145,7 @@ impl<M, T> Event<M, T> {
         match *self {
             Event::Deliver { to, .. } => to,
             Event::Fire { node, .. } => node,
+            Event::ContactFailed { node, .. } => node,
         }
     }
 }
@@ -182,6 +206,11 @@ pub struct Engine<A: Actor> {
     race_reports: Vec<RaceReport>,
     /// Panic on the first detected race (default) instead of recording.
     race_panic: bool,
+    /// When enabled, a message delivered to a dead node additionally
+    /// schedules an [`Event::ContactFailed`] back at the sender (after
+    /// the return latency), feeding [`Actor::on_contact_failed`].
+    /// Off by default: the silent drop is the pre-repair contract.
+    failure_notices: bool,
 }
 
 impl<A: Actor> Engine<A> {
@@ -210,7 +239,21 @@ impl<A: Actor> Engine<A> {
             partition: None,
             race_reports: Vec::new(),
             race_panic: true,
+            failure_notices: false,
         }
+    }
+
+    /// Enable (or disable) transport failure notices: bounced messages
+    /// feed [`Actor::on_contact_failed`] on the sender instead of
+    /// vanishing. Partition drops never bounce — a cut link looks like
+    /// silence, not like a dead peer.
+    pub fn set_failure_notices(&mut self, enabled: bool) {
+        self.failure_notices = enabled;
+    }
+
+    /// Are transport failure notices enabled?
+    pub fn failure_notices(&self) -> bool {
+        self.failure_notices
     }
 
     /// Is the same-instant race detector compiled into this build?
@@ -387,17 +430,27 @@ impl<A: Actor> Engine<A> {
                 Some((to, Work::Msg(from, msg)))
             }
             Event::Fire { node, timer } => Some((node, Work::Timer(timer))),
+            Event::ContactFailed { node, peer } => Some((node, Work::Failed(peer))),
         }
     }
 
     /// Take the live actor at `node`, accounting a dead-target drop.
     /// `None`: the node has departed (message drops are counted, timers
-    /// on dead nodes are inert).
+    /// and failure notices on dead nodes are inert). With failure notices
+    /// enabled, a dropped node-to-node message also bounces: the sender
+    /// hears [`Actor::on_contact_failed`] after the return latency.
+    /// Called in pop order on both drain paths, so the bounce's sequence
+    /// number is identical at every thread count.
     fn take_actor(&mut self, node: NodeIdx, work: &Work<A::Msg, A::Timer>) -> Option<A> {
         let actor = self.actors.get_mut(node).and_then(Option::take);
         if actor.is_none() {
-            if let Work::Msg(..) = work {
+            if let Work::Msg(from, _) = *work {
                 self.stats.dropped += 1;
+                if self.failure_notices && from != EXTERNAL {
+                    let d = if from == node { 0.0 } else { self.metric.distance(node, from) };
+                    let at = self.now + self.proc_delay + SimTime::from_distance(d);
+                    self.push(at, Event::ContactFailed { node: from, peer: node });
+                }
             }
         }
         actor
@@ -424,6 +477,7 @@ impl<A: Actor> Engine<A> {
                 ctx.stats.timers += 1;
                 actor.on_timer(&mut ctx, t);
             }
+            Work::Failed(peer) => actor.on_contact_failed(&mut ctx, peer),
         }
     }
 
@@ -630,10 +684,12 @@ impl<A: Actor> Engine<A> {
                         kind: match ev {
                             Event::Deliver { .. } => "deliver",
                             Event::Fire { .. } => "timer",
+                            Event::ContactFailed { .. } => "contact-failed",
                         },
                         from: match ev {
                             Event::Deliver { from, .. } => Some(from),
                             Event::Fire { .. } => None,
+                            Event::ContactFailed { peer, .. } => Some(peer),
                         },
                     }
                 } else {
@@ -714,6 +770,8 @@ type NodeWork<M, T> = (NodeIdx, Work<M, T>);
 enum Work<M, T> {
     Msg(NodeIdx, M),
     Timer(T),
+    /// A prior send from this node bounced off dead `peer`.
+    Failed(NodeIdx),
 }
 
 #[cfg(test)]
@@ -787,6 +845,72 @@ mod tests {
         e.run_until_idle(100);
         assert_eq!(e.stats().dropped, 1);
         assert_eq!(e.node(0).unwrap().received, 1);
+    }
+
+    /// Sender that records which peers bounced (failure-notice path).
+    struct Bouncer {
+        peer: NodeIdx,
+        failures: Vec<NodeIdx>,
+    }
+
+    impl Actor for Bouncer {
+        type Msg = u32;
+        type Timer = &'static str;
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32, &'static str>, _from: NodeIdx, msg: u32) {
+            if msg > 0 {
+                ctx.send(self.peer, msg - 1);
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32, &'static str>, _timer: &'static str) {}
+
+        fn on_contact_failed(&mut self, _ctx: &mut Ctx<'_, u32, &'static str>, peer: NodeIdx) {
+            self.failures.push(peer);
+        }
+    }
+
+    #[test]
+    fn failure_notices_bounce_to_sender() {
+        let space = RingSpace::even(2, 100.0);
+        let mut e: Engine<Bouncer> = Engine::new(Box::new(space), SimTime(1));
+        e.set_failure_notices(true);
+        e.add_node(0, Bouncer { peer: 1, failures: Vec::new() });
+        e.add_node(1, Bouncer { peer: 0, failures: Vec::new() });
+        e.inject(0, 3);
+        e.step(); // node 0 sends to 1
+        e.remove_node(1);
+        e.run_until_idle(100);
+        assert_eq!(e.stats().dropped, 1, "the drop is still counted");
+        assert_eq!(e.node(0).unwrap().failures, vec![1], "sender heard the bounce");
+    }
+
+    #[test]
+    fn partition_drops_never_bounce() {
+        let space = RingSpace::even(2, 100.0);
+        let mut e: Engine<Bouncer> = Engine::new(Box::new(space), SimTime(1));
+        e.set_failure_notices(true);
+        e.add_node(0, Bouncer { peer: 1, failures: Vec::new() });
+        e.add_node(1, Bouncer { peer: 0, failures: Vec::new() });
+        e.set_partition(vec![0, 1]);
+        e.inject(0, 3);
+        e.run_until_idle(100);
+        assert_eq!(e.stats().partition_dropped, 1);
+        assert!(e.node(0).unwrap().failures.is_empty(), "a cut link is silence, not death");
+    }
+
+    #[test]
+    fn notices_disabled_by_default() {
+        let space = RingSpace::even(2, 100.0);
+        let mut e: Engine<Bouncer> = Engine::new(Box::new(space), SimTime(1));
+        assert!(!e.failure_notices());
+        e.add_node(0, Bouncer { peer: 1, failures: Vec::new() });
+        e.add_node(1, Bouncer { peer: 0, failures: Vec::new() });
+        e.inject(0, 3);
+        e.step();
+        e.remove_node(1);
+        e.run_until_idle(100);
+        assert!(e.node(0).unwrap().failures.is_empty(), "silent drop is the default");
     }
 
     #[test]

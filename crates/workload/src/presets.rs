@@ -6,7 +6,7 @@
 use crate::churn::ChurnSpec;
 use crate::spec::{PhaseSpec, ScenarioSpec};
 use crate::traffic::{Arrival, Popularity};
-use tapestry_core::TapestryConfig;
+use tapestry_core::{MaintenanceMode, TapestryConfig};
 use tapestry_membership::{churn_join_budget, BatchPolicy};
 use tapestry_sim::SimTime;
 
@@ -22,9 +22,11 @@ pub const PRESET_NAMES: &[&str] =
 /// Default node counts of the `scale` benchmark family.
 pub const SCALE_SIZES: &[usize] = &[1_000, 4_000, 10_000, 25_000];
 
-/// Default node counts of the `churn-scale` family — the first churn
-/// trajectory points past the old de-facto toy-size ceiling.
-pub const CHURN_SCALE_SIZES: &[usize] = &[1_000, 25_000, 50_000];
+/// Default node counts of the `churn-scale` family. The 100k point runs
+/// in incremental maintenance mode only: a global repair round there
+/// costs O(n) per detected failure, which is exactly the regime the
+/// fact-driven scheduler exists to avoid.
+pub const CHURN_SCALE_SIZES: &[usize] = &[1_000, 25_000, 100_000];
 
 /// Protocol messages a `churn-scale` churn phase may spend on joins; the
 /// join count is derived from this and the *measured* mean join cost
@@ -163,12 +165,19 @@ fn churn_config() -> TapestryConfig {
 /// coalesce into shared multicast waves (`tapestry-membership`); without
 /// it the same schedule runs through the classic solo-join path — the
 /// side-by-side baseline the committed churn trajectory points report.
+///
+/// Under [`MaintenanceMode::Incremental`] the settle phase drops its
+/// global `OptimizeAt` round: healing is the repair scheduler's job, and
+/// keeping the O(n) sweep would mask whether the targeted repairs
+/// actually converge. Probe rounds stay — detection is beacon-based in
+/// both modes.
 pub fn churn_scale_preset(
     nodes: usize,
     ops: u64,
     seed: u64,
     threads: usize,
     batched: bool,
+    maintenance: MaintenanceMode,
 ) -> ScenarioSpec {
     let side = scale_side(nodes);
     let stretch = side / 1000.0;
@@ -179,9 +188,17 @@ pub fn churn_scale_preset(
     // diameters at every size.
     let cfg = TapestryConfig {
         insert_level_timeout: SimTime::from_distance(5_000.0 * stretch),
+        maintenance,
         ..Default::default()
     };
-    let spec = ScenarioSpec::new(if batched { "churn-scale" } else { "churn-scale-seq" })
+    let incremental = maintenance == MaintenanceMode::Incremental;
+    let name = match (batched, incremental) {
+        (true, false) => "churn-scale",
+        (false, false) => "churn-scale-seq",
+        (true, true) => "churn-scale-incr",
+        (false, true) => "churn-scale-seq-incr",
+    };
+    let spec = ScenarioSpec::new(name)
         .config(cfg)
         .capacity(nodes + joins as usize)
         .initial_nodes(nodes)
@@ -207,15 +224,18 @@ pub fn churn_scale_preset(
                 })
                 .churn(ChurnSpec::ProbeAt { at: 0.55 }),
         )
-        .phase(
-            PhaseSpec::new("settle", d(25_000.0 * stretch))
+        .phase({
+            let settle = PhaseSpec::new("settle", d(25_000.0 * stretch))
                 .arrival(Arrival::Poisson { ops: ops / 5 })
                 .popularity(Popularity::Zipf { exponent: 1.1 })
                 .writes(0.2)
-                .churn(ChurnSpec::ProbeAt { at: 0.05 })
-                .churn(ChurnSpec::OptimizeAt { at: 0.4 })
-                .checked(),
-        );
+                .churn(ChurnSpec::ProbeAt { at: 0.05 });
+            if incremental {
+                settle.checked()
+            } else {
+                settle.churn(ChurnSpec::OptimizeAt { at: 0.4 }).checked()
+            }
+        });
     let spec = if batched {
         spec.join_batch(BatchPolicy {
             // A window a few diameters wide: at the preset's Poisson join

@@ -5,7 +5,7 @@
 
 use crate::churn::ChurnSpec;
 use crate::traffic::{Arrival, Popularity};
-use tapestry_core::TapestryConfig;
+use tapestry_core::{MaintenanceMode, TapestryConfig};
 use tapestry_membership::BatchPolicy;
 use tapestry_metric::{GridSpace, MetricSpace, TorusSpace, TransitStubSpace};
 use tapestry_sim::SimTime;
@@ -234,6 +234,23 @@ impl ScenarioSpec {
     /// `policy` (see `tapestry_membership::JoinCoalescer`).
     pub fn join_batch(mut self, policy: BatchPolicy) -> Self {
         self.join_batch = Some(policy);
+        self
+    }
+
+    /// Select the maintenance mode (shorthand for setting it on the
+    /// overlay config): `GlobalRounds` keeps the classic driver-paced
+    /// repair rounds; `Incremental` turns on the fact-driven per-node
+    /// repair scheduler.
+    pub fn maintenance(mut self, mode: MaintenanceMode) -> Self {
+        self.cfg.maintenance = mode;
+        self
+    }
+
+    /// Cap the incremental repair scheduler at `per_sec` released tasks
+    /// per node per maintenance second (ignored under `GlobalRounds`;
+    /// zero freezes the scheduler without losing facts).
+    pub fn repair_budget(mut self, per_sec: u32) -> Self {
+        self.cfg.repairs_per_sec_per_node = per_sec;
         self
     }
 

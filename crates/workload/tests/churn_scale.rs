@@ -3,12 +3,13 @@
 //! repeats and thread counts, and the batched/unbatched siblings must
 //! run the same churn schedule.
 
+use tapestry_core::MaintenanceMode;
 use tapestry_workload::{presets, runner};
 
 /// Scaled-down churn-scale run (the preset family itself starts at 1k;
 /// tests shrink it through the same constructor).
 fn spec(nodes: usize, batched: bool, threads: usize) -> tapestry_workload::ScenarioSpec {
-    presets::churn_scale_preset(nodes, 400, 11, threads, batched)
+    presets::churn_scale_preset(nodes, 400, 11, threads, batched, MaintenanceMode::GlobalRounds)
 }
 
 #[test]
@@ -60,15 +61,19 @@ fn churn_scale_is_deterministic_across_repeats_and_threads() {
 fn churn_scale_presets_validate_at_every_committed_size() {
     for &n in presets::CHURN_SCALE_SIZES {
         for batched in [true, false] {
-            let spec = presets::churn_scale_preset(n, 2000, 42, 4, batched);
-            spec.validate().unwrap_or_else(|e| panic!("churn-scale({n}, {batched}): {e}"));
-            assert_eq!(spec.initial_nodes, n);
-            assert!(spec.capacity > n, "room for the joins");
-            assert_eq!(spec.join_batch.is_some(), batched);
+            for mode in [MaintenanceMode::GlobalRounds, MaintenanceMode::Incremental] {
+                let spec = presets::churn_scale_preset(n, 2000, 42, 4, batched, mode);
+                spec.validate()
+                    .unwrap_or_else(|e| panic!("churn-scale({n}, {batched}, {mode:?}): {e}"));
+                assert_eq!(spec.initial_nodes, n);
+                assert!(spec.capacity > n, "room for the joins");
+                assert_eq!(spec.join_batch.is_some(), batched);
+                assert_eq!(spec.cfg.maintenance, mode);
+            }
         }
     }
     // The derived join budget (satellite: no more hard-coded toy cap)
-    // admits the 25k and 50k points.
+    // admits the 25k and 100k points.
     assert!(presets::churn_scale_joins(25_000) >= 1_000);
-    assert!(presets::churn_scale_joins(50_000) >= 2_000);
+    assert!(presets::churn_scale_joins(100_000) >= 2_000);
 }

@@ -1,0 +1,95 @@
+//! Incremental maintenance (`MaintenanceMode::Incremental`): the
+//! fact-driven repair scheduler must *converge* — after a churn storm,
+//! the settle phase's spot-checks (Property 1/2, Theorem 2 root
+//! uniqueness) hold again under every finite budget — and a zero budget
+//! must freeze repairs without wedging or panicking the run.
+
+use tapestry_core::MaintenanceMode;
+use tapestry_workload::{presets, runner};
+
+fn incr_spec(budget: u32, threads: usize) -> tapestry_workload::ScenarioSpec {
+    presets::churn_scale_preset(96, 400, 11, threads, true, MaintenanceMode::Incremental)
+        .repair_budget(budget)
+}
+
+#[test]
+fn incremental_repair_converges_under_every_finite_budget() {
+    for budget in [1, 4, 16] {
+        let report =
+            runner::run(&incr_spec(budget, 1)).unwrap_or_else(|e| panic!("budget {budget}: {e}"));
+        let churn_phase = &report.phases[1];
+        assert!(churn_phase.churn.joins_ok > 0, "budget {budget}: churn happened");
+        // The scheduler actually ran: facts were recorded and repairs
+        // released somewhere in the run.
+        let facts: u64 = report.phases.iter().filter_map(|p| p.counters.get("repair.facts")).sum();
+        let events: u64 =
+            report.phases.iter().filter_map(|p| p.counters.get("repair.events")).sum();
+        assert!(facts > 0, "budget {budget}: staleness facts recorded");
+        assert!(events > 0, "budget {budget}: repairs released");
+        // Convergence: the checked settle phase restores the paper's
+        // invariants without any global OptimizeAt round.
+        let inv = report.phases[2].invariants.expect("checked settle phase");
+        assert_eq!(inv.prop1_violations, 0, "budget {budget}: Property 1 restored after churn");
+        assert_eq!(
+            inv.roots_unique, inv.roots_sampled,
+            "budget {budget}: Theorem 2 roots unique after churn"
+        );
+    }
+}
+
+#[test]
+fn tighter_budgets_defer_more_work() {
+    let deferred_at = |budget: u32| -> u64 {
+        let report = runner::run(&incr_spec(budget, 1)).expect("runs");
+        report.phases.iter().filter_map(|p| p.counters.get("repair.deferred_budget")).sum()
+    };
+    // Not a strict monotonicity claim (backlogs drain between ticks),
+    // but a budget of 1 must visibly queue more than a budget of 16.
+    assert!(deferred_at(1) >= deferred_at(16), "a 1/sec budget defers at least as much as 16/sec");
+}
+
+#[test]
+fn zero_budget_never_panics_and_still_drains_to_idle() {
+    let report = runner::run(&incr_spec(0, 1)).expect("zero-budget run completes");
+    // Facts accumulate (bounded by the ledger cap) but no repair tick
+    // ever fires, so no repair events are released.
+    let events: u64 = report.phases.iter().filter_map(|p| p.counters.get("repair.events")).sum();
+    assert_eq!(events, 0, "a frozen scheduler releases nothing");
+    let facts: u64 = report.phases.iter().filter_map(|p| p.counters.get("repair.facts")).sum();
+    assert!(facts > 0, "evidence still recorded while frozen");
+}
+
+#[test]
+fn incremental_reports_are_byte_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let (report, totals) = runner::run_with_totals(&incr_spec(16, threads)).expect("runs");
+        (report.to_json(), totals)
+    };
+    let (json1, totals1) = run(1);
+    let (json2, totals2) = run(2);
+    let (json4, totals4) = run(4);
+    assert_eq!(json1, json2, "threads 1 vs 2");
+    assert_eq!(json1, json4, "threads 1 vs 4");
+    assert_eq!(totals1, totals2);
+    assert_eq!(totals1, totals4);
+}
+
+#[test]
+fn global_rounds_reports_carry_no_new_repair_counters() {
+    // The byte-identity gate in code: under GlobalRounds every repair
+    // hook is a no-op, so none of the scheduler's counters may appear in
+    // the report (counters only surface when they move). The three
+    // pre-existing probe-round counters are the global path's own.
+    let legacy = ["repair.pings", "repair.detected_dead", "repair.queries"];
+    let spec = presets::churn_scale_preset(96, 400, 11, 1, true, MaintenanceMode::GlobalRounds);
+    let report = runner::run(&spec).expect("runs");
+    for p in &report.phases {
+        for key in p.counters.keys() {
+            assert!(
+                !key.starts_with("repair.") || legacy.contains(&key.as_str()),
+                "GlobalRounds leaked counter {key} in phase {}",
+                p.name
+            );
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! these runs is the assertion; in a release build without the
 //! `race-detector` feature they degrade to plain determinism runs.
 
+use tapestry_core::MaintenanceMode;
 use tapestry_workload::{presets, runner};
 
 #[test]
@@ -20,8 +21,22 @@ fn steady_zipf_runs_race_free_at_all_thread_counts() {
 #[test]
 fn churn_scale_runs_race_free_at_all_thread_counts() {
     for threads in [1, 2, 4] {
-        let spec = presets::churn_scale_preset(96, 400, 11, threads, true);
+        let spec =
+            presets::churn_scale_preset(96, 400, 11, threads, true, MaintenanceMode::GlobalRounds);
         let report = runner::run(&spec).expect("churn-scale must run race-free");
+        assert!(report.phases[1].churn.joins_ok > 0, "churn actually happened");
+    }
+}
+
+#[test]
+fn incremental_churn_scale_runs_race_free_at_all_thread_counts() {
+    // The repair scheduler adds new event kinds (contact-failure notices,
+    // repair ticks, targeted re-queries); this proves they obey the
+    // same-instant batch contract at every thread count.
+    for threads in [1, 2, 4] {
+        let spec =
+            presets::churn_scale_preset(96, 400, 11, threads, true, MaintenanceMode::Incremental);
+        let report = runner::run(&spec).expect("incremental churn-scale must run race-free");
         assert!(report.phases[1].churn.joins_ok > 0, "churn actually happened");
     }
 }

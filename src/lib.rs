@@ -33,13 +33,15 @@ pub use tapestry_id as id;
 pub use tapestry_membership as membership;
 pub use tapestry_metric as metric;
 pub use tapestry_prrv0 as prrv0;
+pub use tapestry_repair as repair;
 pub use tapestry_sim as sim;
 pub use tapestry_workload as workload;
 
 /// Everything most applications need, in one import.
 pub mod prelude {
     pub use tapestry_core::{
-        LocateResult, NetworkSnapshot, RoutingScheme, TapestryConfig, TapestryNetwork,
+        LocateResult, MaintenanceMode, NetworkSnapshot, RoutingScheme, TapestryConfig,
+        TapestryNetwork,
     };
     pub use tapestry_id::{Guid, Id, IdSpace, Prefix};
     pub use tapestry_membership::{BatchPolicy, JoinCoalescer};
