@@ -199,19 +199,12 @@ struct IncrCols {
     report: ScenarioReport,
 }
 
-/// Sum a named counter across every phase of a report.
-fn counter_total(r: &ScenarioReport, name: &str) -> u64 {
-    r.phases.iter().filter_map(|p| p.counters.get(name)).sum()
-}
-
-/// Joins completed across every phase.
-fn joins_total(r: &ScenarioReport) -> u64 {
-    r.phases.iter().map(|p| p.churn.joins_ok).sum()
-}
-
 /// Mean `join.messages` per completed join (0 when no join completed).
 fn join_msgs_mean(r: &ScenarioReport) -> f64 {
-    tapestry_membership::mean_messages_per_join(counter_total(r, "join.messages"), joins_total(r))
+    tapestry_membership::mean_messages_per_join(
+        r.counter_total("join.messages"),
+        r.joins_ok_total(),
+    )
 }
 
 fn join_f3(vals: impl Iterator<Item = f64>) -> String {
@@ -344,6 +337,76 @@ fn run_across_threads(
     point.expect("at least one thread count")
 }
 
+/// One churn trajectory point. The incremental-maintenance run goes
+/// through the thread-count determinism gate at every `--threads` value;
+/// up to [`GLOBAL_ROUNDS_CHURN_MAX`] the classic global-rounds run rides
+/// alongside for the mode comparison, plus the **solo-join baseline** —
+/// which is a single sequential-path run by construction (its only job
+/// is the batched-vs-solo join-cost column), hoisted here so it can
+/// never be re-run per thread count.
+fn churn_point(args: &Args, n: usize) -> Point {
+    let finish = |spec: tapestry_workload::ScenarioSpec| {
+        if args.exhaustive_checks {
+            spec.exhaustive_checks()
+        } else {
+            spec
+        }
+    };
+    let incr_point = run_across_threads(&format!("churn-scale-incr({n})"), &args.threads, |t| {
+        finish(churn_scale_preset(n, args.ops, args.seed, t, true, MaintenanceMode::Incremental))
+    });
+    let nodes = incr_point.report.initial_nodes as f64;
+    let repair_events = incr_point.report.counter_total("repair.events");
+    let incr = IncrCols {
+        joins_ok: incr_point.report.joins_ok_total(),
+        repair_facts: incr_point.report.counter_total("repair.facts"),
+        repair_events,
+        repair_promotions: incr_point.report.counter_total("repair.promotions"),
+        repair_events_per_node_round: repair_events as f64 / nodes / CHURN_PROBE_ROUNDS,
+        wall_secs: incr_point.timings.iter().map(|t| t.bootstrap_secs + t.drive_secs).collect(),
+        report: incr_point.report.clone(),
+    };
+    if n > GLOBAL_ROUNDS_CHURN_MAX {
+        let mut point = incr_point;
+        point.churn = Some(ChurnCols { global: None, incr });
+        return point;
+    }
+    let mut point = run_across_threads(&format!("churn-scale({n})"), &args.threads, |t| {
+        finish(churn_scale_preset(n, args.ops, args.seed, t, true, MaintenanceMode::GlobalRounds))
+    });
+    // The solo baseline: one run, outside the per-thread loop.
+    let seq_spec = finish(churn_scale_preset(
+        n,
+        args.ops,
+        args.seed,
+        args.threads[0],
+        false,
+        MaintenanceMode::GlobalRounds,
+    ));
+    let seq_report = match runner::run(&seq_spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("churn-scale-seq({n}): {e}");
+            std::process::exit(1)
+        }
+    };
+    let waves = point.report.counter_total("multicast.batch_waves");
+    let batch_joins = point.report.counter_total("multicast.batch_joins");
+    point.churn = Some(ChurnCols {
+        global: Some(GlobalChurnCols {
+            joins_ok: point.report.joins_ok_total(),
+            join_msgs_mean: join_msgs_mean(&point.report),
+            waves,
+            mean_batch: if waves == 0 { 0.0 } else { batch_joins as f64 / waves as f64 },
+            seq_joins_ok: seq_report.joins_ok_total(),
+            seq_join_msgs_mean: join_msgs_mean(&seq_report),
+            seq_report,
+        }),
+        incr,
+    });
+    point
+}
+
 fn main() {
     let args = parse_args();
     let mut points = Vec::new();
@@ -363,80 +426,8 @@ fn main() {
             ));
         }
     }
-
-    // Churn trajectory points. Incremental maintenance runs at every
-    // thread count under the determinism gate; up to
-    // GLOBAL_ROUNDS_CHURN_MAX the classic global-rounds run (plus the
-    // solo-join baseline) rides alongside for the mode comparison.
     for &n in &args.churn {
-        let incr_point =
-            run_across_threads(&format!("churn-scale-incr({n})"), &args.threads, |t| {
-                finish(churn_scale_preset(
-                    n,
-                    args.ops,
-                    args.seed,
-                    t,
-                    true,
-                    MaintenanceMode::Incremental,
-                ))
-            });
-        let nodes = incr_point.report.initial_nodes as f64;
-        let repair_events = counter_total(&incr_point.report, "repair.events");
-        let incr = IncrCols {
-            joins_ok: joins_total(&incr_point.report),
-            repair_facts: counter_total(&incr_point.report, "repair.facts"),
-            repair_events,
-            repair_promotions: counter_total(&incr_point.report, "repair.promotions"),
-            repair_events_per_node_round: repair_events as f64 / nodes / CHURN_PROBE_ROUNDS,
-            wall_secs: incr_point.timings.iter().map(|t| t.bootstrap_secs + t.drive_secs).collect(),
-            report: incr_point.report.clone(),
-        };
-        let mut point = if n <= GLOBAL_ROUNDS_CHURN_MAX {
-            run_across_threads(&format!("churn-scale({n})"), &args.threads, |t| {
-                finish(churn_scale_preset(
-                    n,
-                    args.ops,
-                    args.seed,
-                    t,
-                    true,
-                    MaintenanceMode::GlobalRounds,
-                ))
-            })
-        } else {
-            incr_point
-        };
-        let global = if n <= GLOBAL_ROUNDS_CHURN_MAX {
-            let seq_spec = finish(churn_scale_preset(
-                n,
-                args.ops,
-                args.seed,
-                args.threads[0],
-                false,
-                MaintenanceMode::GlobalRounds,
-            ));
-            let seq_report = match runner::run(&seq_spec) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("churn-scale-seq({n}): {e}");
-                    std::process::exit(1)
-                }
-            };
-            let waves = counter_total(&point.report, "multicast.batch_waves");
-            let batch_joins = counter_total(&point.report, "multicast.batch_joins");
-            Some(GlobalChurnCols {
-                joins_ok: joins_total(&point.report),
-                join_msgs_mean: join_msgs_mean(&point.report),
-                waves,
-                mean_batch: if waves == 0 { 0.0 } else { batch_joins as f64 / waves as f64 },
-                seq_joins_ok: joins_total(&seq_report),
-                seq_join_msgs_mean: join_msgs_mean(&seq_report),
-                seq_report,
-            })
-        } else {
-            None
-        };
-        point.churn = Some(ChurnCols { global, incr });
-        points.push(point);
+        points.push(churn_point(&args, n));
     }
 
     if !args.quiet {

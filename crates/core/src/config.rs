@@ -30,7 +30,7 @@ pub enum RoutingScheme {
 /// (a primary plus two backups per slot, §2.4), a single root per object
 /// (`|R_Φ| = 1`, §2.2), and soft-state pointers that expire unless
 /// republished (§2.2, §6.5).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TapestryConfig {
     /// Identifier namespace (radix and digit count).
     pub space: IdSpace,

@@ -119,6 +119,7 @@ pub const WORKSPACE_TARGETS: &[(&str, GateClass)] = &[
     ("crates/prrv0/src", GateClass::Deterministic),
     ("crates/repair/src", GateClass::Deterministic),
     ("crates/sim/src", GateClass::Deterministic),
+    ("crates/sweep/src", GateClass::Deterministic),
     ("crates/workload/src", GateClass::Deterministic),
     ("crates/bench/src", GateClass::Observational),
     ("crates/baselines/src", GateClass::NonGated),

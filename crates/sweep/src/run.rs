@@ -1,0 +1,250 @@
+//! Sweep execution: expand the spec's grids into (cell × seed) runs, fan
+//! them across the worker pool, and extract per-run metrics — split into
+//! the deterministic set (identical bytes every run of the same seed,
+//! committed in `BENCH_sweep.json`) and the wall-clock set (machine
+//! observations, emitted separately and never committed).
+
+use crate::grid::{CellSpec, SweepSpec};
+use crate::pool::run_parallel;
+use std::collections::BTreeMap;
+use tapestry_core::MaintenanceMode;
+use tapestry_membership::mean_messages_per_join;
+use tapestry_workload::{runner, ChurnSpec, ScenarioReport, ScenarioSpec};
+
+/// Metrics of one (cell, seed) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// The run's seed.
+    pub seed: u64,
+    /// Deterministic metrics: a function of the spec alone, byte-stable
+    /// across reruns, worker counts and thread counts.
+    pub det: BTreeMap<String, f64>,
+    /// Machine-dependent wall-clock metrics.
+    pub wall: BTreeMap<String, f64>,
+}
+
+/// Every seed's metrics for one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The cell configuration.
+    pub cell: CellSpec,
+    /// Per-seed metrics, ascending by seed.
+    pub runs: Vec<RunMetrics>,
+}
+
+/// A completed sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Sweep name from the spec.
+    pub name: String,
+    /// The seed set, ascending.
+    pub seeds: Vec<u64>,
+    /// Per-cell results, in spec declaration order.
+    pub cells: Vec<CellResult>,
+}
+
+/// Run every (cell × seed) combination across `workers` pool threads.
+///
+/// Scheduling never leaks into the result: jobs are collected by input
+/// position and re-grouped into declaration order, so the returned
+/// structure — and everything aggregated from it — is identical at every
+/// worker count.
+pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepResult, String> {
+    let cells = spec.cells();
+    let jobs: Vec<(usize, u64)> = cells
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, _)| spec.seeds.iter().map(move |&s| (ci, s)))
+        .collect();
+    let outcomes = run_parallel(jobs.len(), workers, |j| {
+        let (ci, seed) = jobs[j];
+        run_one(&cells[ci], seed)
+    });
+    let mut runs_per_cell: Vec<Vec<RunMetrics>> = (0..cells.len()).map(|_| Vec::new()).collect();
+    for (j, outcome) in outcomes.into_iter().enumerate() {
+        runs_per_cell[jobs[j].0].push(outcome?);
+    }
+    let cells = cells
+        .into_iter()
+        .zip(runs_per_cell)
+        .map(|(cell, mut runs)| {
+            // Seeds are dispatched ascending already; re-sort anyway so the
+            // aggregate never depends on dispatch order.
+            runs.sort_by_key(|r| r.seed);
+            CellResult { cell, runs }
+        })
+        .collect();
+    Ok(SweepResult { name: spec.name.clone(), seeds: spec.seeds.clone(), cells })
+}
+
+/// Run one cell at one seed and extract its metrics.
+pub fn run_one(cell: &CellSpec, seed: u64) -> Result<RunMetrics, String> {
+    let spec = cell.build(seed)?;
+    let (report, totals, timing) =
+        runner::run_timed(&spec).map_err(|e| format!("cell {} seed {seed}: {e}", cell.key()))?;
+
+    let mut det = BTreeMap::new();
+    det.insert("events".into(), totals.events as f64);
+    det.insert("messages".into(), totals.messages as f64);
+    det.insert("ops_completed".into(), report.total_ops.completed as f64);
+    det.insert("ops_found_live".into(), report.total_ops.found_live as f64);
+    det.insert("hops_p50".into(), report.total_hops.p50);
+    det.insert("hops_p99".into(), report.total_hops.p99);
+    det.insert("latency_p50".into(), report.total_latency.p50);
+    det.insert("latency_p99".into(), report.total_latency.p99);
+    det.insert("peak_table_entries".into(), totals.peak_table_entries as f64);
+    det.insert("final_nodes".into(), totals.final_nodes as f64);
+
+    // Join metrics exist exactly when the spec can complete joins (any
+    // churn/ramp phase), so presence is a function of the cell, not the
+    // seed — every seed of a cell reports the same metric set.
+    if spec_has_joins(&spec) {
+        let joins = report.joins_ok_total();
+        det.insert("joins_ok".into(), joins as f64);
+        det.insert(
+            "join_msgs_mean".into(),
+            mean_messages_per_join(report.counter_total("join.messages"), joins),
+        );
+    }
+    // Repair metrics exist exactly under the fact-driven scheduler.
+    if spec.cfg.maintenance == MaintenanceMode::Incremental {
+        let rounds = probe_rounds(&spec).max(1) as f64;
+        det.insert("repair_events".into(), report.counter_total("repair.events") as f64);
+        det.insert("repair_facts".into(), report.counter_total("repair.facts") as f64);
+        det.insert(
+            "repairs_per_node_round".into(),
+            report.counter_total("repair.events") as f64 / cell.nodes as f64 / rounds,
+        );
+    }
+    verify_det_metrics(cell, seed, &report, &det)?;
+
+    let mut wall = BTreeMap::new();
+    wall.insert("bootstrap_secs".into(), timing.bootstrap_secs);
+    wall.insert("wall_secs".into(), timing.bootstrap_secs + timing.drive_secs);
+    wall.insert("events_per_sec".into(), timing.events_per_sec(totals.events));
+    Ok(RunMetrics { seed, det, wall })
+}
+
+/// Does any phase script joins (explicit churn or an upward node ramp)?
+fn spec_has_joins(spec: &ScenarioSpec) -> bool {
+    let mut nodes = spec.initial_nodes;
+    for p in &spec.phases {
+        if p.churn.iter().any(|c| matches!(c, ChurnSpec::Churn { .. } | ChurnSpec::Diurnal { .. }))
+        {
+            return true;
+        }
+        if let Some(t) = p.target_nodes {
+            if t > nodes {
+                return true;
+            }
+            nodes = t;
+        }
+    }
+    false
+}
+
+/// Scripted probe rounds across the whole scenario — the divisor of
+/// `repairs_per_node_round` (each `ProbeAt` fires one failure-detection
+/// round that feeds the fact ledger).
+fn probe_rounds(spec: &ScenarioSpec) -> usize {
+    spec.phases
+        .iter()
+        .map(|p| p.churn.iter().filter(|c| matches!(c, ChurnSpec::ProbeAt { .. })).count())
+        .sum()
+}
+
+/// Cross-check that no deterministic metric was contaminated by a
+/// non-finite value (a NaN would still *print* deterministically, but
+/// would poison every ratio gate downstream).
+fn verify_det_metrics(
+    cell: &CellSpec,
+    seed: u64,
+    report: &ScenarioReport,
+    det: &BTreeMap<String, f64>,
+) -> Result<(), String> {
+    for (k, v) in det {
+        if !v.is_finite() {
+            return Err(format!(
+                "cell {} seed {seed}: metric '{k}' is non-finite ({v}) — report scenario '{}'",
+                cell.key(),
+                report.scenario
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::SweepSpec;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec::parse(
+            "name tiny\nseeds 7 11\n\ngrid t\npreset steady-zipf\nnodes 16\nops 40\nthreads 1 2\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sweep_is_worker_count_invariant() {
+        let spec = tiny_spec();
+        let one = run_sweep(&spec, 1).unwrap();
+        let two = run_sweep(&spec, 2).unwrap();
+        // Wall metrics are machine observations and legitimately vary;
+        // everything deterministic must be bit-identical.
+        let det = |r: &SweepResult| {
+            r.cells
+                .iter()
+                .map(|c| (c.cell.clone(), c.runs.iter().map(|m| (m.seed, m.det.clone())).collect()))
+                .collect::<Vec<(_, Vec<_>)>>()
+        };
+        assert_eq!(det(&one), det(&two), "scheduling must not leak into results");
+        assert_eq!(one.cells.len(), 2);
+        assert_eq!(one.cells[0].runs.len(), 2);
+        assert_eq!(one.cells[0].runs[0].seed, 7);
+        assert_eq!(one.cells[0].runs[1].seed, 11);
+    }
+
+    #[test]
+    fn threads_axis_does_not_change_deterministic_metrics() {
+        let spec = tiny_spec();
+        let r = run_sweep(&spec, 2).unwrap();
+        let t1 = &r.cells[0];
+        let t2 = &r.cells[1];
+        assert_eq!(t1.cell.key_without_threads(), t2.cell.key_without_threads());
+        for (a, b) in t1.runs.iter().zip(&t2.runs) {
+            assert_eq!(a.det, b.det, "threads={} vs {}", t1.cell.threads, t2.cell.threads);
+        }
+    }
+
+    #[test]
+    fn steady_cells_omit_join_and_repair_metrics() {
+        let spec = tiny_spec();
+        let r = run_sweep(&spec, 2).unwrap();
+        let det = &r.cells[0].runs[0].det;
+        assert!(det.contains_key("events"));
+        assert!(det.contains_key("hops_p50"));
+        assert!(!det.contains_key("join_msgs_mean"), "no joins scripted");
+        assert!(!det.contains_key("repairs_per_node_round"), "global maintenance");
+        let wall = &r.cells[0].runs[0].wall;
+        assert!(wall.contains_key("events_per_sec"));
+    }
+
+    #[test]
+    fn churn_cells_carry_join_metrics_and_incremental_cells_repair_metrics() {
+        let spec = SweepSpec::parse(
+            "name c\nseeds 5\n\ngrid c\npreset churn-scale\nnodes 64\nops 100\n\
+             maintenance default incremental\n",
+        )
+        .unwrap();
+        let r = run_sweep(&spec, 2).unwrap();
+        let global = &r.cells[0].runs[0].det;
+        let incr = &r.cells[1].runs[0].det;
+        assert!(global.contains_key("join_msgs_mean"));
+        assert!(global["joins_ok"] > 0.0);
+        assert!(!global.contains_key("repairs_per_node_round"));
+        assert!(incr.contains_key("repairs_per_node_round"));
+        assert!(incr.contains_key("repair_events"));
+    }
+}

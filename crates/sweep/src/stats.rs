@@ -1,0 +1,144 @@
+//! Aggregation statistics for per-cell seed samples: sample mean,
+//! standard deviation, and the two-sided 95% confidence-interval
+//! half-width (Student's t for small samples, the regime a 3–10 seed
+//! sweep lives in).
+
+/// Two-sided 95% Student-t critical values for 1–30 degrees of freedom;
+/// past the table the normal approximation is close enough.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The two-sided 95% t critical value for `df` degrees of freedom
+/// (`df = 0` has no spread to bound and returns 0).
+pub fn t95(df: usize) -> f64 {
+    match df {
+        0 => 0.0,
+        d if d <= T95.len() => T95[d - 1],
+        _ => 1.960,
+    }
+}
+
+/// Sample mean (0 for an empty sample).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation, `n − 1` denominator (0 below two points).
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Half-width of the two-sided 95% confidence interval of the mean:
+/// `t₉₅(n−1) · s / √n` (0 below two points — one seed bounds nothing).
+pub fn ci95_half_width(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    t95(xs.len() - 1) * stddev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Summary statistics of one metric over a cell's seeds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Agg {
+    /// Sample size (seeds).
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1).
+    pub sd: f64,
+    /// 95% CI half-width of the mean (report as `mean ± ci95`).
+    pub ci95: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Agg {
+    /// Summarize a sample (order-independent: every statistic is
+    /// symmetric in its inputs... except floating-point summation order,
+    /// so callers must present samples in a canonical order — the sweep
+    /// aggregator sorts runs by seed first).
+    pub fn of(xs: &[f64]) -> Agg {
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        if xs.is_empty() {
+            min = 0.0;
+            max = 0.0;
+        }
+        Agg {
+            n: xs.len() as u64,
+            mean: mean(xs),
+            sd: stddev(xs),
+            ci95: ci95_half_width(xs),
+            min,
+            max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_stddev_ci_match_hand_computed_fixtures() {
+        // {2, 4, 6}: mean 4, sd 2, ci95 = 4.303 · 2 / √3 ≈ 4.9687.
+        let xs = [2.0, 4.0, 6.0];
+        assert_eq!(mean(&xs), 4.0);
+        assert_eq!(stddev(&xs), 2.0);
+        assert!((ci95_half_width(&xs) - 4.303 * 2.0 / 3.0_f64.sqrt()).abs() < 1e-12);
+        assert!((ci95_half_width(&xs) - 4.9687).abs() < 1e-4);
+        // {10, 12}: mean 11, sd √2, ci95 = 12.706 · √2 / √2 = 12.706.
+        let xs = [10.0, 12.0];
+        assert_eq!(mean(&xs), 11.0);
+        assert!((stddev(&xs) - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!((ci95_half_width(&xs) - 12.706).abs() < 1e-9);
+        // Identical samples: zero spread, zero interval.
+        let xs = [7.0, 7.0, 7.0, 7.0];
+        assert_eq!(stddev(&xs), 0.0);
+        assert_eq!(ci95_half_width(&xs), 0.0);
+    }
+
+    #[test]
+    fn degenerate_samples_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert_eq!(ci95_half_width(&[5.0]), 0.0);
+        let a = Agg::of(&[]);
+        assert_eq!((a.n, a.min, a.max), (0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn t_table_boundaries() {
+        assert_eq!(t95(0), 0.0);
+        assert_eq!(t95(1), 12.706);
+        assert_eq!(t95(30), 2.042);
+        assert_eq!(t95(31), 1.960);
+        assert_eq!(t95(1000), 1.960);
+    }
+
+    #[test]
+    fn agg_summarizes_min_max() {
+        let a = Agg::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(a.n, 3);
+        assert_eq!(a.mean, 2.0);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 3.0);
+        assert_eq!(a.sd, 1.0);
+    }
+}

@@ -41,7 +41,8 @@ pub mod spec;
 pub mod traffic;
 
 pub use churn::{ChurnEvent, ChurnSpec};
-pub use report::{HistSummary, InvariantReport, OpStats, PhaseReport, ScenarioReport};
+pub use presets::{sweep_preset, SweepKnobs};
+pub use report::{HistSummary, InvariantReport, JsonWriter, OpStats, PhaseReport, ScenarioReport};
 pub use runner::{run, run_timed, run_with_totals, RunTiming, RunTotals};
 pub use spec::{PhaseSpec, ScenarioSpec, SpaceKind, TrafficSpec};
 pub use traffic::{Arrival, Popularity, PopularitySampler};

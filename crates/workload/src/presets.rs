@@ -255,6 +255,97 @@ fn d(units: f64) -> SimTime {
     SimTime::from_distance(units)
 }
 
+/// Config knobs a sweep grid can vary on top of a named preset. Every
+/// field defaults to "leave the preset alone", so a `SweepKnobs::default()`
+/// reproduces the preset exactly — the anchor the sweep determinism tests
+/// rely on.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SweepKnobs {
+    /// Identifier radix `b` (the paper uses 16). Digit count is kept.
+    pub base: Option<u8>,
+    /// Acknowledged-multicast fan-out bound; `Some(0)` means unbounded
+    /// (the paper's exact §4.1 behaviour, `TapestryConfig` `None`).
+    pub multicast_fanout: Option<usize>,
+    /// Join-coalescing window in metric-distance units. Only valid for
+    /// presets that batch joins (`churn-scale` with `batched`).
+    pub coalesce_window: Option<f64>,
+    /// Incremental-repair budget (`repairs_per_sec_per_node`).
+    pub repair_budget: Option<u32>,
+    /// Maintenance mode override. For `churn-scale` this selects the
+    /// preset variant (phase schedule included); for every other preset
+    /// it overrides the overlay config only.
+    pub maintenance: Option<MaintenanceMode>,
+    /// Join batching on/off. Only valid for `churn-scale`.
+    pub batched: Option<bool>,
+}
+
+/// The sweep entry point: build any preset family member from one flat
+/// parameter set — the named scenario presets, the `scale` family
+/// (`space` selects the substrate) and the `churn-scale` family
+/// (`knobs.maintenance` / `knobs.batched` select the variant) — then
+/// apply the grid's config-knob overrides. This is the single
+/// constructor `tapestry-sweep` expands grid cells through, so every
+/// knob combination is validated in one place.
+pub fn sweep_preset(
+    name: &str,
+    nodes: usize,
+    ops: u64,
+    seed: u64,
+    space: Option<ScaleSpace>,
+    threads: usize,
+    knobs: &SweepKnobs,
+) -> Result<ScenarioSpec, String> {
+    let mut spec = match name {
+        "scale" => scale_preset(nodes, ops, seed, space.unwrap_or(ScaleSpace::Torus), threads),
+        "churn-scale" => {
+            if space.is_some_and(|s| s != ScaleSpace::Torus) {
+                return Err("churn-scale: only the torus substrate is supported".into());
+            }
+            let mode = knobs.maintenance.unwrap_or(MaintenanceMode::GlobalRounds);
+            churn_scale_preset(nodes, ops, seed, threads, knobs.batched.unwrap_or(true), mode)
+        }
+        _ => {
+            if space.is_some() {
+                return Err(format!("preset '{name}': the space axis applies to `scale` only"));
+            }
+            if knobs.batched.is_some() {
+                return Err(format!("preset '{name}': `batched` applies to `churn-scale` only"));
+            }
+            let mut s = preset(name, nodes, ops, seed)
+                .ok_or_else(|| format!("unknown preset '{name}'"))?
+                .threads(threads);
+            if let Some(mode) = knobs.maintenance {
+                s = s.maintenance(mode);
+            }
+            s
+        }
+    };
+    if let Some(b) = knobs.base {
+        if b < 2 {
+            return Err("base: identifier radix must be at least 2".into());
+        }
+        spec.cfg.space = tapestry_id::IdSpace::new(b, spec.cfg.space.digits);
+    }
+    if let Some(f) = knobs.multicast_fanout {
+        spec.cfg.multicast_fanout = if f == 0 { None } else { Some(f) };
+    }
+    if let Some(w) = knobs.coalesce_window {
+        match spec.join_batch.as_mut() {
+            Some(policy) if w > 0.0 => policy.window = SimTime::from_distance(w),
+            _ => {
+                return Err(format!(
+                    "preset '{name}': coalesce_window needs a join-batching preset \
+                     and a positive window (got {w})"
+                ))
+            }
+        }
+    }
+    if let Some(budget) = knobs.repair_budget {
+        spec = spec.repair_budget(budget);
+    }
+    Ok(spec)
+}
+
 /// Build the named preset for a network of `nodes` nodes and roughly
 /// `ops` locate/publish operations. Returns `None` for unknown names.
 pub fn preset(name: &str, nodes: usize, ops: u64, seed: u64) -> Option<ScenarioSpec> {
@@ -452,5 +543,85 @@ mod tests {
     fn churn_presets_shorten_the_probe_deadline() {
         let spec = preset("churn-storm", 64, 500, 1).unwrap();
         assert!(spec.cfg.insert_level_timeout < SimTime::from_distance(10_000.0));
+    }
+
+    #[test]
+    fn sweep_preset_with_default_knobs_matches_the_named_preset() {
+        let knobs = SweepKnobs::default();
+        for &name in PRESET_NAMES {
+            let via_sweep = sweep_preset(name, 64, 500, 42, None, 2, &knobs).expect(name);
+            let direct = preset(name, 64, 500, 42).unwrap().threads(2);
+            assert_eq!(via_sweep.name, direct.name);
+            assert_eq!(via_sweep.cfg, direct.cfg);
+            assert_eq!(via_sweep.seed, direct.seed);
+            assert_eq!(via_sweep.phases.len(), direct.phases.len());
+        }
+        // The scale/churn-scale families route through their dedicated
+        // constructors (space and maintenance/batched selection).
+        let s = sweep_preset("scale", 256, 500, 42, Some(ScaleSpace::Grid), 1, &knobs).unwrap();
+        assert_eq!(s.name, "scale");
+        assert!(matches!(s.space, crate::spec::SpaceKind::Grid { .. }));
+        let c = sweep_preset(
+            "churn-scale",
+            1000,
+            500,
+            42,
+            None,
+            1,
+            &SweepKnobs { maintenance: Some(MaintenanceMode::Incremental), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(c.name, "churn-scale-incr");
+        assert!(c.join_batch.is_some());
+    }
+
+    #[test]
+    fn sweep_preset_applies_every_knob() {
+        let knobs = SweepKnobs {
+            base: Some(4),
+            multicast_fanout: Some(8),
+            coalesce_window: Some(1234.0),
+            repair_budget: Some(3),
+            maintenance: Some(MaintenanceMode::Incremental),
+            batched: Some(true),
+        };
+        let spec = sweep_preset("churn-scale", 1000, 500, 42, None, 1, &knobs).unwrap();
+        assert_eq!(spec.cfg.space.base, 4);
+        assert_eq!(spec.cfg.multicast_fanout, Some(8));
+        assert_eq!(spec.join_batch.unwrap().window, SimTime::from_distance(1234.0));
+        assert_eq!(spec.cfg.repairs_per_sec_per_node, 3);
+        assert_eq!(spec.cfg.maintenance, MaintenanceMode::Incremental);
+        // Fan-out 0 means unbounded (config None).
+        let unbounded = SweepKnobs { multicast_fanout: Some(0), ..Default::default() };
+        let spec = sweep_preset("steady-zipf", 64, 500, 42, None, 1, &unbounded).unwrap();
+        assert_eq!(spec.cfg.multicast_fanout, None);
+    }
+
+    #[test]
+    fn sweep_preset_rejects_invalid_knob_combinations() {
+        let k = SweepKnobs::default();
+        assert!(sweep_preset("nope", 64, 500, 42, None, 1, &k).is_err(), "unknown preset");
+        assert!(
+            sweep_preset("steady-zipf", 64, 500, 42, Some(ScaleSpace::Grid), 1, &k).is_err(),
+            "space axis is scale-only"
+        );
+        let b = SweepKnobs { batched: Some(true), ..Default::default() };
+        assert!(
+            sweep_preset("steady-zipf", 64, 500, 42, None, 1, &b).is_err(),
+            "batched is churn-scale-only"
+        );
+        let w = SweepKnobs { coalesce_window: Some(500.0), ..Default::default() };
+        assert!(
+            sweep_preset("steady-zipf", 64, 500, 42, None, 1, &w).is_err(),
+            "coalesce_window needs a batching preset"
+        );
+        let solo_w =
+            SweepKnobs { batched: Some(false), coalesce_window: Some(500.0), ..Default::default() };
+        assert!(
+            sweep_preset("churn-scale", 1000, 500, 42, None, 1, &solo_w).is_err(),
+            "coalesce_window needs batched joins"
+        );
+        let bad_base = SweepKnobs { base: Some(1), ..Default::default() };
+        assert!(sweep_preset("steady-zipf", 64, 500, 42, None, 1, &bad_base).is_err(), "radix 1");
     }
 }

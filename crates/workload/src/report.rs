@@ -194,6 +194,17 @@ pub struct ScenarioReport {
 }
 
 impl ScenarioReport {
+    /// Sum a named protocol counter across every phase (0 when the
+    /// counter never moved).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.phases.iter().filter_map(|p| p.counters.get(name)).sum()
+    }
+
+    /// Joins completed across every phase.
+    pub fn joins_ok_total(&self) -> u64 {
+        self.phases.iter().map(|p| p.churn.joins_ok).sum()
+    }
+
     /// Recompute the whole-run aggregates from the phases plus the merged
     /// latency/hop histograms the runner kept.
     pub fn finalize(&mut self, latency: &Histogram, hops: &Histogram, latency_scale: f64) {
@@ -374,8 +385,8 @@ fn write_hist(w: &mut JsonWriter, h: &HistSummary) {
 }
 
 /// Fixed three-decimal float formatting — the determinism anchor for
-/// committed reports.
-fn f3(x: f64) -> String {
+/// committed reports (shared by the sweep aggregator's emitters).
+pub fn f3(x: f64) -> String {
     format!("{x:.3}")
 }
 
@@ -390,21 +401,31 @@ fn csv_field(s: &str) -> String {
 }
 
 /// Minimal JSON writer: tracks comma placement, escapes strings, prints
-/// floats via [`f3`].
-struct JsonWriter {
-    out: String,
+/// floats via [`f3`]. Public so every committed JSON artifact in the
+/// workspace (scenario reports here, sweep aggregates in
+/// `tapestry-sweep`) shares one set of determinism conventions.
+pub struct JsonWriter {
+    /// The emitted JSON so far; take it when the document is closed.
+    pub out: String,
     /// Does the current container already hold an element?
     needs_comma: Vec<bool>,
 }
 
+impl Default for JsonWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl JsonWriter {
-    fn new() -> Self {
+    /// An empty writer positioned at the document root.
+    pub fn new() -> Self {
         JsonWriter { out: String::new(), needs_comma: vec![false] }
     }
 
     /// Emit the separating comma if the current container already holds
     /// an element, and mark it non-empty.
-    fn elem_prefix(&mut self) {
+    pub fn elem_prefix(&mut self) {
         if let Some(last) = self.needs_comma.last_mut() {
             if *last {
                 self.out.push(',');
@@ -413,31 +434,35 @@ impl JsonWriter {
         }
     }
 
-    fn open_obj(&mut self) {
+    /// Open `{`.
+    pub fn open_obj(&mut self) {
         self.elem_prefix();
         self.out.push('{');
         self.needs_comma.push(false);
     }
 
-    fn close_obj(&mut self) {
+    /// Close `}`.
+    pub fn close_obj(&mut self) {
         self.out.push('}');
         self.needs_comma.pop();
     }
 
-    fn open_arr(&mut self) {
+    /// Open `[`.
+    pub fn open_arr(&mut self) {
         self.elem_prefix();
         self.out.push('[');
         self.needs_comma.push(false);
     }
 
-    fn close_arr(&mut self) {
+    /// Close `]`.
+    pub fn close_arr(&mut self) {
         self.out.push(']');
         self.needs_comma.pop();
     }
 
     /// `"key":` — the value that follows must not get its own comma, so
     /// the container is marked empty again until the value lands.
-    fn key(&mut self, k: &str) {
+    pub fn key(&mut self, k: &str) {
         self.elem_prefix();
         self.push_escaped(k);
         self.out.push(':');
@@ -447,30 +472,34 @@ impl JsonWriter {
     }
 
     /// A bare scalar value (after `key`, or an array element).
-    fn raw(&mut self, v: &str) {
+    pub fn raw(&mut self, v: &str) {
         self.elem_prefix();
         self.out.push_str(v);
     }
 
-    fn str_field(&mut self, k: &str, v: &str) {
+    /// `"k":"v"` with escaping.
+    pub fn str_field(&mut self, k: &str, v: &str) {
         self.key(k);
         self.elem_prefix();
         self.push_escaped(v);
     }
 
-    fn u64_field(&mut self, k: &str, v: u64) {
+    /// `"k":v` for integers.
+    pub fn u64_field(&mut self, k: &str, v: u64) {
         self.key(k);
         self.elem_prefix();
         let _ = write!(self.out, "{v}");
     }
 
-    fn f64_field(&mut self, k: &str, v: f64) {
+    /// `"k":v` with fixed three-decimal floats.
+    pub fn f64_field(&mut self, k: &str, v: f64) {
         self.key(k);
         self.elem_prefix();
         self.out.push_str(&f3(v));
     }
 
-    fn push_escaped(&mut self, s: &str) {
+    /// A JSON string literal with escaping.
+    pub fn push_escaped(&mut self, s: &str) {
         self.out.push('"');
         for c in s.chars() {
             match c {

@@ -35,6 +35,7 @@ pub use tapestry_metric as metric;
 pub use tapestry_prrv0 as prrv0;
 pub use tapestry_repair as repair;
 pub use tapestry_sim as sim;
+pub use tapestry_sweep as sweep;
 pub use tapestry_workload as workload;
 
 /// Everything most applications need, in one import.
