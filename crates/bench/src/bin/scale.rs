@@ -41,7 +41,11 @@
 use tapestry_bench::{f2, header, row};
 use tapestry_core::MaintenanceMode;
 use tapestry_workload::presets::{churn_scale_preset, scale_preset, ScaleSpace, SCALE_SIZES};
-use tapestry_workload::{runner, RunTiming, RunTotals, ScenarioReport};
+use tapestry_workload::{runner, RunTiming, RunTotals, ScenarioReport, Telemetry};
+
+/// Default `--metrics-window` when `--metrics-json` is given without one:
+/// 1024 distance units of simulated time per sample.
+const DEFAULT_METRICS_WINDOW: u64 = 1 << 20;
 
 /// Largest churn point that still runs the global-rounds mode (and its
 /// solo-join baseline). Beyond this the point is incremental-only.
@@ -62,6 +66,11 @@ struct Args {
     exhaustive_checks: bool,
     json: Option<String>,
     sim_json: Option<String>,
+    trace_json: Option<String>,
+    trace_sample: u64,
+    trace_cap: usize,
+    metrics_json: Option<String>,
+    metrics_window: u64,
     quiet: bool,
 }
 
@@ -70,11 +79,51 @@ fn usage() -> ! {
         "usage: scale [--nodes N[,N,...]] [--ops N] [--seed S]\n\
          \x20            [--space torus|grid|transit-stub[,...]] [--threads T[,T,...]]\n\
          \x20            [--churn N[,N,...]] [--exhaustive-checks]\n\
-         \x20            [--json PATH] [--sim-json PATH] [--quiet]\n\
-         defaults: --nodes {} --ops 2000 --seed 42 --space torus --threads 1,4 --churn (none)",
+         \x20            [--json PATH] [--sim-json PATH]\n\
+         \x20            [--trace-json PATH] [--trace-sample N] [--trace-cap N]\n\
+         \x20            [--metrics-json PATH] [--metrics-window UNITS] [--quiet]\n\
+         defaults: --nodes {} --ops 2000 --seed 42 --space torus --threads 1,4 --churn (none)\n\
+         --trace-sample N traces every Nth locate (default 1 when --trace-json is given);\n\
+         --metrics-window is simulated time units per sample (default {DEFAULT_METRICS_WINDOW});\n\
+         telemetry rides the same byte-identity gate across --threads as the reports",
         SCALE_SIZES.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(",")
     );
     std::process::exit(2)
+}
+
+/// The telemetry flags, in the shape `run_across_threads` needs to apply
+/// them to every spec it builds.
+#[derive(Clone, Copy, Default)]
+struct TelOpts {
+    trace_sample: u64,
+    trace_cap: usize,
+    metrics_window: u64,
+}
+
+impl TelOpts {
+    fn from_args(args: &Args) -> Self {
+        TelOpts {
+            trace_sample: args.trace_sample,
+            trace_cap: args.trace_cap,
+            metrics_window: args.metrics_window,
+        }
+    }
+
+    fn apply(&self, spec: tapestry_workload::ScenarioSpec) -> tapestry_workload::ScenarioSpec {
+        let mut spec = spec;
+        if self.trace_sample > 0 {
+            spec = spec.trace_sample(self.trace_sample).trace_cap(self.trace_cap);
+        }
+        if self.metrics_window > 0 {
+            spec = spec.metrics_window(self.metrics_window);
+        }
+        spec
+    }
+}
+
+/// The telemetry JSON strings of one run (None when the flag is off).
+fn telemetry_strings(tel: &Telemetry) -> (Option<String>, Option<String>) {
+    (tel.trace_json(), tel.metrics_json())
 }
 
 fn parse_args() -> Args {
@@ -88,6 +137,11 @@ fn parse_args() -> Args {
         exhaustive_checks: false,
         json: None,
         sim_json: None,
+        trace_json: None,
+        trace_sample: 0,
+        trace_cap: 4096,
+        metrics_json: None,
+        metrics_window: 0,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -141,9 +195,36 @@ fn parse_args() -> Args {
             "--exhaustive-checks" => args.exhaustive_checks = true,
             "--json" => args.json = Some(val("--json")),
             "--sim-json" => args.sim_json = Some(val("--sim-json")),
+            "--trace-json" => args.trace_json = Some(val("--trace-json")),
+            "--trace-sample" => {
+                args.trace_sample = val("--trace-sample").parse().unwrap_or_else(|_| usage());
+                if args.trace_sample == 0 {
+                    usage()
+                }
+            }
+            "--trace-cap" => {
+                args.trace_cap = val("--trace-cap").parse().unwrap_or_else(|_| usage());
+                if args.trace_cap == 0 {
+                    usage()
+                }
+            }
+            "--metrics-json" => args.metrics_json = Some(val("--metrics-json")),
+            "--metrics-window" => {
+                args.metrics_window = val("--metrics-window").parse().unwrap_or_else(|_| usage());
+                if args.metrics_window == 0 {
+                    usage()
+                }
+            }
             "--quiet" => args.quiet = true,
             _ => usage(),
         }
+    }
+    // Asking for a telemetry file implies collecting it.
+    if args.trace_json.is_some() && args.trace_sample == 0 {
+        args.trace_sample = 1;
+    }
+    if args.metrics_json.is_some() && args.metrics_window == 0 {
+        args.metrics_window = DEFAULT_METRICS_WINDOW;
     }
     args
 }
@@ -158,6 +239,10 @@ struct Point {
     timings: Vec<RunTiming>,
     /// Churn points carry measured join-cost columns (batched and solo).
     churn: Option<ChurnCols>,
+    /// Telemetry artifacts when the flags are on — verified byte-identical
+    /// across thread counts like the report itself.
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
 /// Churn-point measurements: the global-rounds columns (absent past
@@ -291,17 +376,20 @@ fn point_json(p: &Point, ops: u64, seed: u64) -> String {
 fn run_across_threads(
     label: &str,
     threads: &[usize],
+    tel: TelOpts,
     build: impl Fn(usize) -> tapestry_workload::ScenarioSpec,
 ) -> Point {
     let mut point: Option<Point> = None;
     for &t in threads {
-        let (report, totals, timing) = match runner::run_timed(&build(t)) {
-            Ok(x) => x,
-            Err(e) => {
-                eprintln!("{label}: {e}");
-                std::process::exit(1)
-            }
-        };
+        let (report, totals, timing, telemetry) =
+            match runner::run_instrumented(&tel.apply(build(t))) {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("{label}: {e}");
+                    std::process::exit(1)
+                }
+            };
+        let (trace, metrics) = telemetry_strings(&telemetry);
         match &mut point {
             None => {
                 point = Some(Point {
@@ -310,6 +398,8 @@ fn run_across_threads(
                     threads: vec![t],
                     timings: vec![timing],
                     churn: None,
+                    trace,
+                    metrics,
                 })
             }
             Some(p) => {
@@ -328,6 +418,21 @@ fn run_across_threads(
                         );
                     }
                     std::process::exit(1)
+                }
+                for (what, x, y) in [("trace", &p.trace, &trace), ("metrics", &p.metrics, &metrics)]
+                {
+                    if x != y {
+                        eprintln!(
+                            "{label}: {what} JSON diverged between --threads {} and {t}",
+                            p.threads[0]
+                        );
+                        if let (Some(x), Some(y)) = (x.as_deref(), y.as_deref()) {
+                            if let Some(d) = tapestry_bench::diff_summary(x, y) {
+                                eprintln!("{d}");
+                            }
+                        }
+                        std::process::exit(1)
+                    }
                 }
                 p.threads.push(t);
                 p.timings.push(timing);
@@ -352,9 +457,18 @@ fn churn_point(args: &Args, n: usize) -> Point {
             spec
         }
     };
-    let incr_point = run_across_threads(&format!("churn-scale-incr({n})"), &args.threads, |t| {
-        finish(churn_scale_preset(n, args.ops, args.seed, t, true, MaintenanceMode::Incremental))
-    });
+    let tel = TelOpts::from_args(args);
+    let incr_point =
+        run_across_threads(&format!("churn-scale-incr({n})"), &args.threads, tel, |t| {
+            finish(churn_scale_preset(
+                n,
+                args.ops,
+                args.seed,
+                t,
+                true,
+                MaintenanceMode::Incremental,
+            ))
+        });
     let nodes = incr_point.report.initial_nodes as f64;
     let repair_events = incr_point.report.counter_total("repair.events");
     let incr = IncrCols {
@@ -371,7 +485,7 @@ fn churn_point(args: &Args, n: usize) -> Point {
         point.churn = Some(ChurnCols { global: None, incr });
         return point;
     }
-    let mut point = run_across_threads(&format!("churn-scale({n})"), &args.threads, |t| {
+    let mut point = run_across_threads(&format!("churn-scale({n})"), &args.threads, tel, |t| {
         finish(churn_scale_preset(n, args.ops, args.seed, t, true, MaintenanceMode::GlobalRounds))
     });
     // The solo baseline: one run, outside the per-thread loop.
@@ -417,11 +531,13 @@ fn main() {
             spec
         }
     };
+    let tel = TelOpts::from_args(&args);
     for &space in &args.spaces {
         for &n in &args.nodes {
             points.push(run_across_threads(
                 &format!("scale({n}, {space:?})"),
                 &args.threads,
+                tel,
                 |t| finish(scale_preset(n, args.ops, args.seed, space, t)),
             ));
         }
@@ -510,5 +626,17 @@ fn main() {
         }
         std::fs::write(path, format!("[{}]", reports.join(",")))
             .expect("write deterministic sim json");
+    }
+    // Telemetry artifacts: one array entry per trajectory point (each
+    // entry already verified byte-identical across thread counts).
+    if let Some(path) = &args.trace_json {
+        let parts: Vec<&str> =
+            points.iter().filter_map(|p| p.trace.as_deref()).map(str::trim_end).collect();
+        std::fs::write(path, format!("[{}]\n", parts.join(","))).expect("write trace json");
+    }
+    if let Some(path) = &args.metrics_json {
+        let parts: Vec<&str> =
+            points.iter().filter_map(|p| p.metrics.as_deref()).map(str::trim_end).collect();
+        std::fs::write(path, format!("[{}]\n", parts.join(","))).expect("write metrics json");
     }
 }

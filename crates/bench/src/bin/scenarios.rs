@@ -17,7 +17,11 @@
 //! mismatch (the in-binary form of CI's `cmp` gate).
 
 use tapestry_bench::{diff_summary, f2, header, row};
-use tapestry_workload::{presets, runner, ScenarioReport};
+use tapestry_workload::{presets, runner, ScenarioReport, ScenarioSpec, Telemetry};
+
+/// Default `--metrics-window` when `--metrics-json` is given without one:
+/// 1024 distance units of simulated time per sample.
+const DEFAULT_METRICS_WINDOW: u64 = 1 << 20;
 
 struct Args {
     preset: String,
@@ -28,20 +32,57 @@ struct Args {
     verify_threads: Vec<usize>,
     json: Option<String>,
     csv: Option<String>,
+    trace_json: Option<String>,
+    trace_sample: u64,
+    trace_cap: usize,
+    metrics_json: Option<String>,
+    metrics_window: u64,
     quiet: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: scenarios --preset <name|all> [--nodes N] [--ops N] [--seed S] [--threads T]\n\
-         \x20                [--verify-threads T[,T..]] [--json PATH] [--csv PATH] [--quiet]\n\
+         \x20                [--verify-threads T[,T..]] [--json PATH] [--csv PATH]\n\
+         \x20                [--trace-json PATH] [--trace-sample N] [--trace-cap N]\n\
+         \x20                [--metrics-json PATH] [--metrics-window UNITS] [--quiet]\n\
          \x20      scenarios --list\n\
          presets: {}\n\
          --threads only changes wall-clock time: reports are byte-identical at every value\n\
-         --verify-threads re-runs each preset at the given counts and byte-compares reports",
+         --verify-threads re-runs each preset at the given counts and byte-compares reports\n\
+         \x20  (including the trace/metrics JSON when enabled)\n\
+         --trace-sample N traces every Nth locate (default 1 when --trace-json is given);\n\
+         --metrics-window is simulated time units per sample (default {DEFAULT_METRICS_WINDOW})",
         presets::PRESET_NAMES.join(", ")
     );
     std::process::exit(2)
+}
+
+/// Apply the telemetry flags to a preset spec.
+fn instrument(spec: ScenarioSpec, args: &Args) -> ScenarioSpec {
+    let mut spec = spec;
+    if args.trace_sample > 0 {
+        spec = spec.trace_sample(args.trace_sample).trace_cap(args.trace_cap);
+    }
+    if args.metrics_window > 0 {
+        spec = spec.metrics_window(args.metrics_window);
+    }
+    spec
+}
+
+/// The telemetry JSON strings of one run (None when the flag is off).
+fn telemetry_strings(tel: &Telemetry) -> (Option<String>, Option<String>) {
+    (tel.trace_json(), tel.metrics_json())
+}
+
+/// One JSON artifact per preset: the single object, or an array for
+/// `--preset all` (mirroring the report file's shape).
+fn join_artifacts(parts: &[String]) -> String {
+    if parts.len() == 1 {
+        parts[0].clone()
+    } else {
+        format!("[{}]\n", parts.iter().map(|s| s.trim_end()).collect::<Vec<_>>().join(","))
+    }
 }
 
 fn parse_args() -> Args {
@@ -54,6 +95,11 @@ fn parse_args() -> Args {
         verify_threads: Vec::new(),
         json: None,
         csv: None,
+        trace_json: None,
+        trace_sample: 0,
+        trace_cap: 4096,
+        metrics_json: None,
+        metrics_window: 0,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -86,6 +132,26 @@ fn parse_args() -> Args {
             }
             "--json" => args.json = Some(val("--json")),
             "--csv" => args.csv = Some(val("--csv")),
+            "--trace-json" => args.trace_json = Some(val("--trace-json")),
+            "--trace-sample" => {
+                args.trace_sample = val("--trace-sample").parse().unwrap_or_else(|_| usage());
+                if args.trace_sample == 0 {
+                    usage()
+                }
+            }
+            "--trace-cap" => {
+                args.trace_cap = val("--trace-cap").parse().unwrap_or_else(|_| usage());
+                if args.trace_cap == 0 {
+                    usage()
+                }
+            }
+            "--metrics-json" => args.metrics_json = Some(val("--metrics-json")),
+            "--metrics-window" => {
+                args.metrics_window = val("--metrics-window").parse().unwrap_or_else(|_| usage());
+                if args.metrics_window == 0 {
+                    usage()
+                }
+            }
             "--quiet" => args.quiet = true,
             "--list" => {
                 for name in presets::PRESET_NAMES {
@@ -98,6 +164,13 @@ fn parse_args() -> Args {
     }
     if args.preset.is_empty() {
         usage()
+    }
+    // Asking for a telemetry file implies collecting it.
+    if args.trace_json.is_some() && args.trace_sample == 0 {
+        args.trace_sample = 1;
+    }
+    if args.metrics_json.is_some() && args.metrics_window == 0 {
+        args.metrics_window = DEFAULT_METRICS_WINDOW;
     }
     args
 }
@@ -140,35 +213,43 @@ fn main() {
     };
 
     let mut reports = Vec::new();
+    let mut traces: Vec<String> = Vec::new();
+    let mut metrics: Vec<String> = Vec::new();
     for name in names {
-        let spec = presets::preset(name, args.nodes, args.ops, args.seed)
-            .expect("known preset")
-            .threads(args.threads);
-        match runner::run(&spec) {
-            Ok(r) => {
+        let spec = instrument(
+            presets::preset(name, args.nodes, args.ops, args.seed).expect("known preset"),
+            &args,
+        )
+        .threads(args.threads);
+        let (trace, metric) = match runner::run_instrumented(&spec) {
+            Ok((r, _, _, tel)) => {
                 if !args.quiet {
                     summarize(&r);
                     println!();
                 }
                 reports.push(r);
+                telemetry_strings(&tel)
             }
             Err(e) => {
                 eprintln!("{name}: {e}");
                 std::process::exit(1)
             }
-        }
+        };
         // The in-binary determinism gate: the same preset at every
-        // requested thread count must reproduce the report byte for byte.
+        // requested thread count must reproduce the report — and, when
+        // enabled, the trace/metrics artifacts — byte for byte.
         let primary = reports.last().expect("just pushed").to_json();
         for &threads in &args.verify_threads {
             if threads == args.threads {
                 continue;
             }
-            let spec = presets::preset(name, args.nodes, args.ops, args.seed)
-                .expect("known preset")
-                .threads(threads);
-            let rerun = match runner::run(&spec) {
-                Ok(r) => r.to_json(),
+            let spec = instrument(
+                presets::preset(name, args.nodes, args.ops, args.seed).expect("known preset"),
+                &args,
+            )
+            .threads(threads);
+            let (rerun, rerun_tel) = match runner::run_instrumented(&spec) {
+                Ok((r, _, _, tel)) => (r.to_json(), telemetry_strings(&tel)),
                 Err(e) => {
                     eprintln!("{name} (--verify-threads {threads}): {e}");
                     std::process::exit(1)
@@ -184,7 +265,25 @@ fn main() {
                 }
                 std::process::exit(1)
             }
+            for (what, a, b) in
+                [("trace", &trace, &rerun_tel.0), ("metrics", &metric, &rerun_tel.1)]
+            {
+                if a != b {
+                    eprintln!(
+                        "{name}: {what} JSON diverged between --threads {} and {threads}",
+                        args.threads
+                    );
+                    if let (Some(a), Some(b)) = (a.as_deref(), b.as_deref()) {
+                        if let Some(d) = diff_summary(a, b) {
+                            eprintln!("{d}");
+                        }
+                    }
+                    std::process::exit(1)
+                }
+            }
         }
+        traces.extend(trace);
+        metrics.extend(metric);
     }
 
     // JSON: a single report object, or an array for `--preset all`.
@@ -214,5 +313,11 @@ fn main() {
             csv.push_str(if i == 0 { &full } else { full.split_once('\n').unwrap().1 });
         }
         std::fs::write(path, csv).expect("write csv report");
+    }
+    if let Some(path) = &args.trace_json {
+        std::fs::write(path, join_artifacts(&traces)).expect("write trace json");
+    }
+    if let Some(path) = &args.metrics_json {
+        std::fs::write(path, join_artifacts(&metrics)).expect("write metrics json");
     }
 }

@@ -5,6 +5,7 @@ use crate::node::{NodeStatus, TapestryNode};
 use crate::refs::NodeRef;
 use tapestry_id::Guid;
 use tapestry_sim::Ctx;
+use tapestry_trace::metrics;
 
 impl TapestryNode {
     /// A locate terminated at this node (its root) without finding a
@@ -31,7 +32,7 @@ impl TapestryNode {
         if self.status == NodeStatus::Inserting {
             if let Some(s) = self.insert.as_ref().and_then(|i| i.surrogate) {
                 if s.idx != self.me.idx && !m.visited.contains(&s.idx) {
-                    ctx.count("availability.bounce_to_surrogate", 1);
+                    metrics::AVAILABILITY_BOUNCE_TO_SURROGATE.inc(ctx);
                     m.level = 0;
                     m.exclude = Some(self.me.idx);
                     m.hops += 1;
@@ -42,7 +43,7 @@ impl TapestryNode {
                 }
             }
         }
-        ctx.count("locate.not_found", 1);
+        metrics::LOCATE_NOT_FOUND.inc(ctx);
         ctx.send(
             origin.idx,
             Msg::LocateDone { op, server: None, hops: m.hops, dist: m.dist, reached_root: true },

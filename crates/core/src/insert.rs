@@ -20,6 +20,7 @@ use crate::repair::RepairTask;
 use std::collections::BTreeSet;
 use tapestry_repair::FactKind;
 use tapestry_sim::{Ctx, NodeIdx};
+use tapestry_trace::{metrics, TraceId};
 
 impl TapestryNode {
     /// Fig. 7, step 1: find the primary surrogate through any gateway.
@@ -56,9 +57,12 @@ impl TapestryNode {
             dist: 0.0,
             visited: Vec::new(),
             local_branch: false,
+            // Joins are always traced when the collector is on: they are
+            // rare relative to locates, so no sampling is needed.
+            trace: ctx.trace_enabled().then_some(TraceId::join(op.0)),
         };
-        ctx.count("insert.started", 1);
-        ctx.count("join.messages", 1);
+        metrics::INSERT_STARTED.inc(ctx);
+        metrics::JOIN_MESSAGES.inc(ctx);
         ctx.send(gateway.idx, Msg::Routed(m));
     }
 
@@ -75,7 +79,7 @@ impl TapestryNode {
         }
         ins.surrogate = Some(surrogate);
         ins.shared_len = self.me.id.shared_prefix_len(&surrogate.id);
-        ctx.count("join.messages", 1);
+        metrics::JOIN_MESSAGES.inc(ctx);
         ctx.send(surrogate.idx, Msg::GetTableCopy { op, new_node: self.me });
     }
 
@@ -89,7 +93,7 @@ impl TapestryNode {
         let mut refs = self.table.all_refs();
         refs.push(self.me);
         let shared_len = self.me.id.shared_prefix_len(&new_node.id);
-        ctx.count("join.messages", 1);
+        metrics::JOIN_MESSAGES.inc(ctx);
         ctx.send(new_node.idx, Msg::TableCopy { op, refs, shared_len });
     }
 
@@ -133,9 +137,9 @@ impl TapestryNode {
             // Batched mode: report readiness to the driver (which reads it
             // through `batch_join_ready`) instead of starting a solo wave.
             ins.ready = Some((prefix, watch));
-            ctx.count("insert.batch_ready", 1);
+            metrics::INSERT_BATCH_READY.inc(ctx);
         } else {
-            ctx.count("join.messages", 1);
+            metrics::JOIN_MESSAGES.inc(ctx);
             ctx.send(surrogate.idx, Msg::StartMulticast { op, prefix, new_node: self.me, watch });
         }
     }
@@ -214,8 +218,8 @@ impl TapestryNode {
             return;
         }
         for &t in &ins.pending {
-            ctx.count("insert.getptr", 1);
-            ctx.count("join.messages", 1);
+            metrics::INSERT_GETPTR.inc(ctx);
+            metrics::JOIN_MESSAGES.inc(ctx);
             ctx.send(t, Msg::GetPointers { op, level, new_node: me });
         }
         ctx.set_timer(timeout, Timer::InsertLevelTimeout { op, level });
@@ -241,7 +245,7 @@ impl TapestryNode {
         );
         refs.sort();
         refs.dedup();
-        ctx.count("join.messages", 1);
+        metrics::JOIN_MESSAGES.inc(ctx);
         ctx.send(new_node.idx, Msg::Pointers { op, level, refs });
     }
 
@@ -277,7 +281,7 @@ impl TapestryNode {
         if ins.op != op || ins.level != level || ins.pending.is_empty() {
             return;
         }
-        ctx.count("insert.level_timeout", 1);
+        metrics::INSERT_LEVEL_TIMEOUT.inc(ctx);
         // Each list member that never answered is staleness evidence:
         // queue a targeted removal instead of waiting for a probe round.
         let silent: Vec<NodeIdx> = ins.pending.iter().copied().collect();
@@ -322,7 +326,7 @@ impl TapestryNode {
 
     fn finish_insert(&mut self, ctx: &mut Ctx<'_, Msg, Timer>) {
         self.status = NodeStatus::Active;
-        ctx.count("insert.completed", 1);
+        metrics::INSERT_COMPLETED.inc(ctx);
         if self.cfg.heartbeat_interval > tapestry_sim::SimTime::ZERO {
             ctx.set_timer(self.cfg.heartbeat_interval, Timer::Heartbeat);
         }

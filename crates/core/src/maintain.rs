@@ -10,6 +10,7 @@ use crate::repair::RepairTask;
 use tapestry_id::Prefix;
 use tapestry_repair::FactKind;
 use tapestry_sim::{Ctx, NodeIdx, SimTime};
+use tapestry_trace::metrics;
 
 impl TapestryNode {
     // ------------------------- root transfers (§4.3) -----------------------
@@ -52,7 +53,7 @@ impl TapestryNode {
         guids.dedup();
         ctx.send(from.idx, Msg::TransferAck { guids });
         for (next, ptrs) in forward {
-            ctx.count("insert.chained_transfers", ptrs.len() as u64);
+            metrics::INSERT_CHAINED_TRANSFERS.add(ctx, ptrs.len() as u64);
             ctx.send(next, Msg::TransferPtrs { ptrs, from: self.me });
         }
     }
@@ -92,7 +93,7 @@ impl TapestryNode {
             if let crate::routing_table::Hop::Forward(next, lvl) =
                 self.route_next(&p.guid.id(), level, Some(changed), false).0
             {
-                ctx.count("optimize.republished", 1);
+                metrics::OPTIMIZE_REPUBLISHED.inc(ctx);
                 ctx.send(next.idx, Msg::OptimizePtr { ptr: p, changed, level: lvl, sender: me });
             }
         }
@@ -156,7 +157,7 @@ impl TapestryNode {
         changed: NodeIdx,
     ) {
         if let Some(e) = self.store.remove(ptr.guid, ptr.server.idx) {
-            ctx.count("optimize.deleted", 1);
+            metrics::OPTIMIZE_DELETED.inc(ctx);
             if let Some(old) = e.last_hop {
                 if old != changed {
                     ctx.send(old, Msg::DeleteBackward { ptr, changed });
@@ -198,8 +199,9 @@ impl TapestryNode {
                         dist: 0.0,
                         visited: vec![self.me.idx],
                         local_branch: false,
+                        trace: None,
                     };
-                    ctx.count("leave.rerooted", 1);
+                    metrics::LEAVE_REROOTED.inc(ctx);
                     ctx.send(first_hop.idx, Msg::Routed(m));
                 }
             }
@@ -314,7 +316,7 @@ impl TapestryNode {
             return;
         }
         for &idx in &self.probe.awaiting {
-            ctx.count("repair.pings", 1);
+            metrics::REPAIR_PINGS.inc(ctx);
             ctx.send(idx, Msg::Ping { nonce });
         }
         ctx.set_timer(self.cfg.insert_level_timeout, Timer::ProbeDeadline { nonce });
@@ -345,7 +347,7 @@ impl TapestryNode {
         }
         let dead: Vec<NodeIdx> = std::mem::take(&mut self.probe.awaiting).into_iter().collect();
         for d in dead {
-            ctx.count("repair.detected_dead", 1);
+            metrics::REPAIR_DETECTED_DEAD.inc(ctx);
             if self.incremental() {
                 self.dead_list.insert(d);
                 self.record_fact(ctx, FactKind::MissedProbeAck, RepairTask::RemoveDead { peer: d });
@@ -370,7 +372,7 @@ impl TapestryNode {
         for (lvl, dig) in holes {
             let prefix = self.me.id.prefix(lvl);
             for p in &peers {
-                ctx.count("repair.queries", 1);
+                metrics::REPAIR_QUERIES.inc(ctx);
                 ctx.send(
                     p.idx,
                     Msg::FindReplacement { op, prefix, digit: dig, dead, reply_to: self.me },
@@ -438,7 +440,7 @@ impl TapestryNode {
                 continue;
             }
             for peer in &refs {
-                ctx.count("optimize.table_shares", 1);
+                metrics::OPTIMIZE_TABLE_SHARES.inc(ctx);
                 ctx.send(peer.idx, Msg::ShareTable { level, refs: refs.clone() });
             }
         }

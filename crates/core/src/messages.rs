@@ -1,6 +1,7 @@
 use crate::refs::NodeRef;
 use tapestry_id::{Guid, Id, Prefix};
 use tapestry_sim::NodeIdx;
+use tapestry_trace::TraceId;
 
 /// Identifier of a multi-message operation (an insertion, a locate, a
 /// multicast session). Unique network-wide: high bits are the initiating
@@ -47,6 +48,11 @@ pub struct RoutedMsg {
     /// originating stub (hops longer than the stub threshold are refused
     /// and the branch terminates at the local root).
     pub local_branch: bool,
+    /// Causal-trace identity for sampled operations: every forward of a
+    /// carrying message emits one hop record into the engine's bounded
+    /// collector. Sim-side instrumentation only — the wire codec does not
+    /// serialize it, so byte accounting is identical traced or not.
+    pub trace: Option<TraceId>,
 }
 
 /// The purposes a routed message can serve.
@@ -381,6 +387,8 @@ pub enum Msg {
     AppLocate {
         /// Object to find.
         guid: Guid,
+        /// Hop-trace identity when this locate was sampled by the driver.
+        trace: Option<TraceId>,
     },
     /// Application request: leave the network voluntarily (Fig. 12).
     AppLeave,
@@ -464,6 +472,7 @@ mod tests {
             dist: 0.0,
             visited: vec![],
             local_branch: false,
+            trace: None,
         };
         let m2 = m.clone();
         assert_eq!(m2.level, 0);

@@ -35,6 +35,7 @@ use crate::repair::RepairTask;
 use tapestry_id::Prefix;
 use tapestry_repair::FactKind;
 use tapestry_sim::{Ctx, NodeIdx};
+use tapestry_trace::metrics;
 
 impl TapestryNode {
     /// The new node asks its surrogate to initiate the multicast
@@ -68,7 +69,7 @@ impl TapestryNode {
             // Duplicate (pinned-pointer forwarding can deliver a session
             // twice); the function already ran here — acknowledge so the
             // sender's count stays correct.
-            ctx.count("join.messages", 1);
+            metrics::JOIN_MESSAGES.inc(ctx);
             ctx.send(from, Msg::MulticastAck { op });
             return;
         }
@@ -86,7 +87,7 @@ impl TapestryNode {
         watch: Vec<(usize, u8)>,
         parent: Option<NodeIdx>,
     ) {
-        ctx.count("multicast.recipients", 1);
+        metrics::MULTICAST_RECIPIENTS.inc(ctx);
         // ---- apply FUNCTION: SendID + pin + watch scan + LinkAndXferRoot
         if new_node.idx != self.me.idx {
             self.apply_wave_function(ctx, op, new_node);
@@ -98,7 +99,7 @@ impl TapestryNode {
         let mut deferred: Vec<(Prefix, NodeRef)> = Vec::new();
         self.gather_children(prefix, &mut children, &mut deferred);
         if !deferred.is_empty() {
-            ctx.count("multicast.fanout_deferred", deferred.len() as u64);
+            metrics::MULTICAST_FANOUT_DEFERRED.add(ctx, deferred.len() as u64);
             // Deferred subtrees heal via targeted repair: reintroduce the
             // insertee to each deferred branch's representative instead of
             // waiting for a global round (no-op under GlobalRounds).
@@ -120,8 +121,8 @@ impl TapestryNode {
         self.mcast
             .insert(op, McastSession { parent, pending, insertees: vec![(op, new_node, true)] });
         for (p, r) in children {
-            ctx.count("multicast.edges", 1);
-            ctx.count("join.messages", 1);
+            metrics::MULTICAST_EDGES.inc(ctx);
+            metrics::JOIN_MESSAGES.inc(ctx);
             ctx.send(r.idx, Msg::Multicast { op, prefix: p, new_node, hole, watch: watch.clone() });
         }
         if pending == 0 {
@@ -137,7 +138,7 @@ impl TapestryNode {
     /// still waiting for). Shared verbatim by solo and batched waves so
     /// the two paths cannot drift.
     fn apply_wave_function(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, op: OpId, new_node: NodeRef) {
-        ctx.count("join.messages", 2);
+        metrics::JOIN_MESSAGES.add(ctx, 2);
         ctx.send(new_node.idx, Msg::Hello { op, me: self.me });
         let dist = ctx.distance_to(new_node.idx);
         self.table.add_pinned(new_node, dist);
@@ -160,12 +161,12 @@ impl TapestryNode {
         if insertees.is_empty() {
             return;
         }
-        ctx.count("multicast.batch_waves", 1);
-        ctx.count("multicast.batch_joins", insertees.len() as u64);
+        metrics::MULTICAST_BATCH_WAVES.inc(ctx);
+        metrics::MULTICAST_BATCH_JOINS.add(ctx, insertees.len() as u64);
         for a in &insertees {
             for b in &insertees {
                 if a.op != b.op && a.prefix.matches(&b.new_node.id) {
-                    ctx.count("join.messages", 1);
+                    metrics::JOIN_MESSAGES.inc(ctx);
                     ctx.send(a.new_node.idx, Msg::Hello { op: a.op, me: b.new_node });
                 }
             }
@@ -187,7 +188,7 @@ impl TapestryNode {
         if self.mcast_done.contains(&op) || self.mcast.contains_key(&op) {
             // Duplicate via pinned-pointer forwarding — ack and stop, as
             // in the solo path.
-            ctx.count("join.messages", 1);
+            metrics::JOIN_MESSAGES.inc(ctx);
             ctx.send(from, Msg::MulticastAck { op });
             return;
         }
@@ -205,8 +206,8 @@ impl TapestryNode {
         insertees: Vec<BatchInsertee>,
         parent: Option<NodeIdx>,
     ) {
-        ctx.count("multicast.recipients", 1);
-        ctx.count("multicast.batch_insertees", insertees.len() as u64);
+        metrics::MULTICAST_RECIPIENTS.inc(ctx);
+        metrics::MULTICAST_BATCH_INSERTEES.add(ctx, insertees.len() as u64);
         let mut fwd: Vec<BatchInsertee> = Vec::with_capacity(insertees.len());
         let mut session: Vec<(OpId, NodeRef, bool)> = Vec::with_capacity(insertees.len());
         for ins in &insertees {
@@ -230,7 +231,7 @@ impl TapestryNode {
         let mut deferred: Vec<(Prefix, NodeRef)> = Vec::new();
         self.gather_children(prefix, &mut children, &mut deferred);
         if !deferred.is_empty() {
-            ctx.count("multicast.fanout_deferred", deferred.len() as u64);
+            metrics::MULTICAST_FANOUT_DEFERRED.add(ctx, deferred.len() as u64);
             // Same healing as the solo wave, per prefix-compatible
             // insertee (the branch would only have carried those).
             for &(p, rep) in &deferred {
@@ -273,8 +274,8 @@ impl TapestryNode {
         let pending = branches.len();
         self.mcast.insert(op, McastSession { parent, pending, insertees: session });
         for (p, r, carry) in branches {
-            ctx.count("multicast.edges", 1);
-            ctx.count("join.messages", 1);
+            metrics::MULTICAST_EDGES.inc(ctx);
+            metrics::JOIN_MESSAGES.inc(ctx);
             ctx.send(r.idx, Msg::BatchMulticast { op, prefix: p, insertees: carry });
         }
         if pending == 0 {
@@ -294,7 +295,7 @@ impl TapestryNode {
     /// soft-state repair reintroduce whatever the lost subtree missed.
     pub(crate) fn on_mcast_deadline(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, op: OpId) {
         if self.mcast.contains_key(&op) {
-            ctx.count("multicast.deadline_forced", 1);
+            metrics::MULTICAST_DEADLINE_FORCED.inc(ctx);
             self.complete_session(ctx, op);
         }
     }
@@ -395,7 +396,7 @@ impl TapestryNode {
         if !found.is_empty() {
             found.sort();
             found.dedup();
-            ctx.count("join.messages", 1);
+            metrics::JOIN_MESSAGES.inc(ctx);
             ctx.send(new_node.idx, Msg::Candidates { op, refs: found });
         }
         remaining
@@ -432,8 +433,8 @@ impl TapestryNode {
             }
         }
         if !ptrs.is_empty() {
-            ctx.count("insert.root_transfers", ptrs.len() as u64);
-            ctx.count("join.messages", 1);
+            metrics::INSERT_ROOT_TRANSFERS.add(ctx, ptrs.len() as u64);
+            metrics::JOIN_MESSAGES.inc(ctx);
             ctx.send(new_node.idx, Msg::TransferPtrs { ptrs, from: self.me });
         }
     }
@@ -470,7 +471,7 @@ impl TapestryNode {
         }
         match s.parent {
             Some(p) => {
-                ctx.count("join.messages", 1);
+                metrics::JOIN_MESSAGES.inc(ctx);
                 ctx.send(p, Msg::MulticastAck { op });
             }
             None => {
@@ -478,7 +479,7 @@ impl TapestryNode {
                 // covered or not — under its own insertion op (Theorem 6:
                 // core nodes from this instant).
                 for &(iop, new_node, _) in &s.insertees {
-                    ctx.count("join.messages", 1);
+                    metrics::JOIN_MESSAGES.inc(ctx);
                     ctx.send(new_node.idx, Msg::MulticastDone { op: iop });
                 }
             }

@@ -16,6 +16,7 @@ use tapestry_id::{root_id, Guid, Id};
 use tapestry_metric::{MetricSpace, NearestIndex};
 use tapestry_repair::MaintenanceMode;
 use tapestry_sim::{Engine, NodeIdx, SimTime};
+use tapestry_trace::TraceId;
 
 /// Outcome of one locate operation, as observed at its origin.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -492,7 +493,32 @@ impl TapestryNetwork {
     /// Issue a locate without draining.
     pub fn locate_async(&mut self, origin: NodeIdx, guid: Guid) {
         assert!(self.engine.alive(origin), "locate from dead node");
-        self.engine.inject(origin, Msg::AppLocate { guid });
+        self.engine.inject(origin, Msg::AppLocate { guid, trace: None });
+    }
+
+    /// Issue a locate carrying a hop-trace identity: every routing hop the
+    /// query takes is recorded into the engine's trace collector (when
+    /// tracing is enabled — see [`TapestryNetwork::enable_trace`]).
+    pub fn locate_async_traced(&mut self, origin: NodeIdx, guid: Guid, trace: TraceId) {
+        assert!(self.engine.alive(origin), "locate from dead node");
+        self.engine.inject(origin, Msg::AppLocate { guid, trace: Some(trace) });
+    }
+
+    /// Turn on hop tracing with a bounded collector of `cap` records
+    /// (overflow is counted, not stored). Deterministic: records land in
+    /// event pop order at every thread count.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.engine.stats_mut().enable_trace(cap);
+    }
+
+    /// Repair-ledger facts pending across all live members — the backlog
+    /// level the time-series sampler reports.
+    pub fn repair_backlog_total(&self) -> u64 {
+        self.members
+            .iter()
+            .filter_map(|&m| self.engine.node(m))
+            .map(|n| n.repair_backlog() as u64)
+            .sum()
     }
 
     /// Collect finished locate results queued at `origin`. Each result

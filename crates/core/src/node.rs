@@ -11,6 +11,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use tapestry_id::Id;
 use tapestry_repair::{FactKind, RepairLedger};
 use tapestry_sim::{Actor, Ctx, NodeIdx};
+use tapestry_trace::metrics;
 
 /// Lifecycle of a Tapestry node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -246,6 +247,12 @@ impl TapestryNode {
         })
     }
 
+    /// Queued repair tasks awaiting budget (0 unless incremental
+    /// maintenance is on) — the sampler's per-node backlog contribution.
+    pub fn repair_backlog(&self) -> usize {
+        self.repair.len()
+    }
+
     /// Drain completed locate operations.
     pub fn take_locate_results(&mut self) -> Vec<LocateResult> {
         std::mem::take(&mut self.locate_results)
@@ -319,7 +326,7 @@ impl TapestryNode {
             !fills
         });
         for (watcher, op) in served {
-            ctx.count("join.messages", 1);
+            metrics::JOIN_MESSAGES.inc(ctx);
             ctx.send(watcher.idx, Msg::Candidates { op, refs: vec![r] });
         }
     }
@@ -387,7 +394,7 @@ impl Actor for TapestryNode {
                 }
             }
             Msg::AppPublish { guid } => self.app_publish(ctx, guid),
-            Msg::AppLocate { guid } => self.app_locate(ctx, guid),
+            Msg::AppLocate { guid, trace } => self.app_locate(ctx, guid, trace),
             Msg::AppLeave => self.app_leave(ctx),
             Msg::AppProbe => self.start_probe_round(ctx),
             Msg::AppOptimize => self.share_tables_round(ctx),

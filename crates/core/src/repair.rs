@@ -22,7 +22,8 @@ use crate::node::TapestryNode;
 use crate::refs::NodeRef;
 use tapestry_id::Guid;
 use tapestry_repair::{FactKind, MaintenanceMode, REPAIR_TICK};
-use tapestry_sim::{Ctx, NodeIdx};
+use tapestry_sim::{Ctx, NodeIdx, TraceRecord};
+use tapestry_trace::{metrics, TraceId};
 
 /// Targeted peers per single-slot re-query — versus the global path's
 /// broadcast to *every* table reference per hole.
@@ -69,7 +70,7 @@ impl TapestryNode {
         if !self.incremental() {
             return;
         }
-        ctx.count("repair.facts", 1);
+        metrics::REPAIR_FACTS.inc(ctx);
         ctx.count(kind.counter(), 1);
         self.schedule_task(ctx, task);
     }
@@ -92,14 +93,14 @@ impl TapestryNode {
     pub(crate) fn on_repair_tick(&mut self, ctx: &mut Ctx<'_, Msg, Timer>) {
         self.repair.disarm();
         if self.repair.overflowed > 0 {
-            ctx.count("repair.overflow", self.repair.overflowed);
+            metrics::REPAIR_OVERFLOW.add(ctx, self.repair.overflowed);
             self.repair.overflowed = 0;
         }
         let budget = self.cfg.repairs_per_sec_per_node as usize;
         let tasks = self.repair.drain(budget);
-        ctx.count("repair.events", tasks.len() as u64);
+        metrics::REPAIR_EVENTS.add(ctx, tasks.len() as u64);
         if !self.repair.is_empty() {
-            ctx.count("repair.deferred_budget", self.repair.len() as u64);
+            metrics::REPAIR_DEFERRED_BUDGET.add(ctx, self.repair.len() as u64);
             if self.repair.arm() {
                 ctx.set_timer(REPAIR_TICK, Timer::RepairTick);
             }
@@ -109,8 +110,32 @@ impl TapestryNode {
         }
     }
 
-    /// Execute one released repair task.
+    /// Execute one released repair task. When tracing is on, each task
+    /// leaves one point record (hop/level/distance zero, `trace` = the
+    /// repair sentinel, `to` = the task's target peer) so sampled traces
+    /// show *when* maintenance acted between the op-level hop chains.
     fn run_repair(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, task: RepairTask) {
+        if ctx.trace_enabled() {
+            let to = match &task {
+                RepairTask::RemoveDead { peer } | RepairTask::ReRoute { peer } => *peer,
+                RepairTask::SlotRequery { dead, .. } => *dead,
+                RepairTask::Republish { .. } => self.me.idx,
+                RepairTask::Reintroduce { rep, .. } => rep.idx,
+                RepairTask::Readmit { peer } => peer.idx,
+            };
+            ctx.trace(TraceRecord {
+                trace: TraceId::REPAIR.raw(),
+                kind: "repair",
+                hop: 0,
+                level: 0,
+                digit: 0,
+                from: self.me.idx,
+                to,
+                dist: 0.0,
+                cum_dist: 0.0,
+                at: ctx.now,
+            });
+        }
         match task {
             RepairTask::RemoveDead { peer } => self.repair_remove_dead(ctx, peer),
             RepairTask::SlotRequery { level, digit, dead } => {
@@ -118,13 +143,13 @@ impl TapestryNode {
             }
             RepairTask::ReRoute { peer } => {
                 if !self.table.contains(peer) {
-                    ctx.count("repair.rerouted", 1);
+                    metrics::REPAIR_REROUTED.inc(ctx);
                     self.optimize_pointers_after_change(ctx, peer);
                 }
             }
             RepairTask::Republish { guid } => {
                 if self.store.has_local(guid) {
-                    ctx.count("repair.republished", 1);
+                    metrics::REPAIR_REPUBLISHED.inc(ctx);
                     self.publish_now(ctx, guid);
                 }
             }
@@ -132,14 +157,14 @@ impl TapestryNode {
                 // Both sides run the ordinary `AddToTableIfCloser` path on
                 // receipt, so the deferred subtree learns the insertee (and
                 // vice versa) without replaying the wave.
-                ctx.count("repair.reintroduced", 1);
+                metrics::REPAIR_REINTRODUCED.inc(ctx);
                 ctx.send(rep.idx, Msg::ShareTable { level, refs: vec![insertee] });
                 ctx.send(insertee.idx, Msg::ShareTable { level, refs: vec![rep] });
             }
             RepairTask::Readmit { peer } => {
                 // A late probe ack proves the peer is alive after all:
                 // tear up its death certificate before re-admitting it.
-                ctx.count("repair.readmitted", 1);
+                metrics::REPAIR_READMITTED.inc(ctx);
                 self.dead_list.remove(&peer.idx);
                 self.consider_neighbor(ctx, peer);
             }
@@ -157,7 +182,7 @@ impl TapestryNode {
         let holes = self.table.remove_node(peer);
         // Every occupied slot that did not become a hole had a §3 backup
         // entry step up as the new primary.
-        ctx.count("repair.promotions", (occupied - holes.len()) as u64);
+        metrics::REPAIR_PROMOTIONS.add(ctx, (occupied - holes.len()) as u64);
         self.backptrs.remove(&peer);
         self.optimize_pointers_after_change(ctx, peer);
         let locals: Vec<_> = self.store.local_objects().collect();
@@ -210,7 +235,7 @@ impl TapestryNode {
         let prefix = self.me.id.prefix(level);
         let op = self.next_op();
         for p in peers {
-            ctx.count("repair.queries", 1);
+            metrics::REPAIR_QUERIES.inc(ctx);
             ctx.send(p.idx, Msg::FindReplacement { op, prefix, digit, dead, reply_to: self.me });
         }
     }

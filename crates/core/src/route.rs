@@ -8,7 +8,8 @@ use crate::refs::NodeRef;
 use crate::routing_table::Hop;
 use rand::Rng;
 use tapestry_id::{root_id, Guid};
-use tapestry_sim::{Ctx, NodeIdx};
+use tapestry_sim::{Ctx, NodeIdx, TraceRecord};
+use tapestry_trace::{metrics, TraceId};
 
 /// Cap on the loop-prevention header (§4.3 notes the hop count is small,
 /// so carrying the path is cheap; the cap bounds pathological churn).
@@ -42,6 +43,7 @@ impl TapestryNode {
                 dist: 0.0,
                 visited: Vec::new(),
                 local_branch: false,
+                trace: None,
             };
             self.handle_routed(ctx, None, m);
         }
@@ -57,6 +59,7 @@ impl TapestryNode {
                 dist: 0.0,
                 visited: Vec::new(),
                 local_branch: true,
+                trace: None,
             };
             self.handle_routed(ctx, None, m);
         }
@@ -74,8 +77,14 @@ impl TapestryNode {
     }
 
     /// Application locate (Fig. 3): route toward a randomly chosen root,
-    /// diverting at the first pointer encountered.
-    pub(crate) fn app_locate(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, guid: Guid) {
+    /// diverting at the first pointer encountered. `trace` is the hop
+    /// trace identity when the driver sampled this locate.
+    pub(crate) fn app_locate(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, Timer>,
+        guid: Guid,
+        trace: Option<TraceId>,
+    ) {
         let op = self.next_op();
         let root_index = if self.cfg.roots_per_object > 1 {
             self.rng.gen_range(0..self.cfg.roots_per_object)
@@ -94,6 +103,7 @@ impl TapestryNode {
             visited: Vec::new(),
             // §6.3: try to resolve within the stub first.
             local_branch: self.cfg.local_stub_optimization,
+            trace,
         };
         self.handle_routed(ctx, None, m);
     }
@@ -128,7 +138,7 @@ impl TapestryNode {
                 if let Some(e) = best {
                     let extra = ctx.distance_to(e.server.idx);
                     let hops = m.hops + u32::from(e.server.idx != self.me.idx);
-                    ctx.count("locate.found", 1);
+                    metrics::LOCATE_FOUND.inc(ctx);
                     ctx.send(
                         origin.idx,
                         Msg::LocateDone {
@@ -154,17 +164,17 @@ impl TapestryNode {
                 match step {
                     Step::Forward(p, lvl, ph) => self.forward(ctx, m, p, lvl, ph),
                     Step::LocalRoot | Step::Terminal => {
-                        ctx.count("publish.rooted", 1);
+                        metrics::PUBLISH_ROOTED.inc(ctx);
                     }
                 }
             }
             RoutedKind::FindSurrogate { reply_to, op } => match step {
                 Step::Forward(p, lvl, ph) => {
-                    ctx.count("join.messages", 1);
+                    metrics::JOIN_MESSAGES.inc(ctx);
                     self.forward(ctx, m, p, lvl, ph)
                 }
                 Step::LocalRoot | Step::Terminal => {
-                    ctx.count("join.messages", 1);
+                    metrics::JOIN_MESSAGES.inc(ctx);
                     ctx.send(reply_to.idx, Msg::SurrogateIs { op, surrogate: self.me });
                 }
             },
@@ -187,7 +197,11 @@ impl TapestryNode {
         }
     }
 
-    /// Take one hop: update accounting headers and send.
+    /// Take one hop: update accounting headers and send. When the message
+    /// carries a [`TraceId`] and tracing is on, one causal hop record
+    /// `(level, digit, from, to, dist, cumulative dist)` lands in the
+    /// engine's bounded collector — the raw material of per-hop stretch
+    /// attribution and hop-count CDFs.
     fn forward(
         &mut self,
         ctx: &mut Ctx<'_, Msg, Timer>,
@@ -198,19 +212,38 @@ impl TapestryNode {
     ) {
         m.past_hole = past_hole;
         m.level = lvl;
+        let d = ctx.distance_to(p.idx);
+        m.dist += d;
+        if let (Some(tid), true) = (m.trace, ctx.trace_enabled()) {
+            ctx.trace(TraceRecord {
+                trace: tid.raw(),
+                kind: match m.kind {
+                    RoutedKind::Locate { .. } => "locate",
+                    RoutedKind::Publish { .. } => "publish",
+                    RoutedKind::FindSurrogate { .. } => "join",
+                },
+                hop: m.hops,
+                level: lvl as u32,
+                digit: m.target.digit(lvl.saturating_sub(1)),
+                from: self.me.idx,
+                to: p.idx,
+                dist: d,
+                cum_dist: m.dist,
+                at: ctx.now,
+            });
+        }
         m.hops += 1;
-        m.dist += ctx.distance_to(p.idx);
         if m.visited.len() < VISITED_CAP {
             m.visited.push(self.me.idx);
         }
-        ctx.count("route.hops", 1);
+        metrics::ROUTE_HOPS.inc(ctx);
         ctx.send(p.idx, Msg::Routed(m));
     }
 
     /// §6.3: a local branch reached the stub-local root without resolving;
     /// resume wide-area routing from here ("resumes at that hop").
     fn resume_global(&mut self, ctx: &mut Ctx<'_, Msg, Timer>, mut m: RoutedMsg) {
-        ctx.count("locality.resume_global", 1);
+        metrics::LOCALITY_RESUME_GLOBAL.inc(ctx);
         m.local_branch = false;
         m.level = 0;
         self.handle_routed(ctx, None, m);

@@ -174,6 +174,10 @@ pub fn decode_routed(mut buf: Bytes) -> Result<RoutedMsg, WireError> {
         dist,
         visited,
         local_branch: flags & 0b010 != 0,
+        // Trace identity is sim-side observability, not protocol state: it
+        // never goes on the wire, so byte accounting is identical whether
+        // or not a run samples traces.
+        trace: None,
     })
 }
 
@@ -200,6 +204,7 @@ mod tests {
             dist: 123.456,
             visited,
             local_branch: false,
+            trace: None,
         }
     }
 
@@ -247,6 +252,7 @@ mod tests {
                 dist: 0.0,
                 visited: vec![],
                 local_branch: true,
+                trace: None,
             };
             let d = decode_routed(encode_routed(&m)).expect("decodes");
             assert!(d.local_branch);
@@ -298,6 +304,7 @@ mod tests {
                 dist,
                 visited: (0..nvis).collect(),
                 local_branch: false,
+                trace: None,
             };
             let d = decode_routed(encode_routed(&m)).expect("round-trips");
             prop_assert_eq!(d.target, m.target);

@@ -15,6 +15,9 @@ pub enum Tok {
     Ident(String),
     /// A single punctuation character (`(`, `)`, `:`, `.`, ...).
     Punct(char),
+    /// A string literal (contents discarded — rules only care *that* a
+    /// literal sits in argument position, e.g. a raw counter key).
+    Str,
 }
 
 /// A `// tapestry-lint: allow(...)` / `allow-file(...)` comment.
@@ -92,8 +95,12 @@ pub fn tokenize(source: &str) -> TokStream {
                     }
                 }
             }
-            '"' => i = skip_string(&chars, i, &mut line),
+            '"' => {
+                out.toks.push((line, Tok::Str));
+                i = skip_string(&chars, i, &mut line)
+            }
             'r' | 'b' if starts_raw_or_byte_string(&chars, i) => {
+                out.toks.push((line, Tok::Str));
                 i = skip_raw_or_byte_string(&chars, i, &mut line)
             }
             '\'' => i = skip_char_or_lifetime(&chars, i, &mut line),
@@ -336,6 +343,18 @@ mod tests {
         let ids = idents("let o = a.1.dist.partial_cmp(&b.1.dist);");
         assert!(ids.contains(&"dist".to_string()));
         assert!(ids.contains(&"partial_cmp".to_string()));
+    }
+
+    #[test]
+    fn string_literals_leave_a_str_token() {
+        // Rules need to see *that* a literal sits in argument position
+        // (raw counter keys) even though its contents are discarded.
+        let s = tokenize("ctx.count(\"locate.found\", 1); let r = r#\"raw\"#;");
+        let strs = s.toks.iter().filter(|(_, t)| *t == Tok::Str).count();
+        assert_eq!(strs, 2);
+        let after_paren =
+            s.toks.windows(2).any(|w| w[0].1 == Tok::Punct('(') && w[1].1 == Tok::Str);
+        assert!(after_paren, "literal visible in argument position");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use crate::race::{self, RaceReport};
 use crate::shard::ShardedQueue;
-use crate::{SimStats, SimTime};
+use crate::{Histogram, SimStats, SimTime, TraceRecord};
 use tapestry_metric::MetricSpace;
 
 /// Index of a node. Node indices coincide with point indices of the
@@ -100,6 +100,18 @@ impl<M, T> Ctx<'_, M, T> {
         self.stats.record(name, v);
     }
 
+    /// Is hop tracing on for this run? Handlers gate their record
+    /// construction on this so the untraced path costs one branch.
+    pub fn trace_enabled(&self) -> bool {
+        self.stats.trace_enabled()
+    }
+
+    /// Emit one causal hop record into the bounded trace collector
+    /// (no-op when tracing is off).
+    pub fn trace(&mut self, rec: TraceRecord) {
+        self.stats.trace_push(rec);
+    }
+
     /// Declare to the race detector that this handler *read* state of
     /// class `class` on `node`. A handler's own actor is covered by an
     /// implicit write; declare anything beyond it (shared tables,
@@ -148,7 +160,21 @@ impl<M, T> Event<M, T> {
             Event::ContactFailed { node, .. } => node,
         }
     }
+
+    /// Index into the per-kind event counters (see [`EVENT_KINDS`]).
+    fn kind_idx(&self) -> usize {
+        match *self {
+            Event::Deliver { .. } => 0,
+            Event::Fire { .. } => 1,
+            Event::ContactFailed { .. } => 2,
+        }
+    }
 }
+
+/// Display names of the event kinds, indexed like
+/// [`Engine::events_by_kind`]: deliveries, timer fires, contact-failure
+/// notices.
+pub const EVENT_KINDS: [&str; 3] = ["deliver", "timer", "contact_failed"];
 
 /// Node ranges per queue shard (the queue caps the shard count, so small
 /// populations collapse to a single heap with no merge overhead).
@@ -196,6 +222,17 @@ pub struct Engine<A: Actor> {
     /// Total events popped over the engine's lifetime (deliveries, timer
     /// fires, and drops alike) — the denominator of events/sec reporting.
     events_processed: u64,
+    /// `events_processed` split by event kind (see [`EVENT_KINDS`]) —
+    /// counted at pop time on both drain paths, so the split is as
+    /// deterministic as the total.
+    events_by_kind: [u64; 3],
+    /// Per-event-kind handler wall time in nanoseconds, recorded only
+    /// when [`Engine::set_profile`] is on. Observational: wall clock
+    /// never feeds simulated behaviour, and these histograms live outside
+    /// [`SimStats`] so deterministic reports cannot see them.
+    handler_ns: [Histogram; 3],
+    /// Record handler wall time into `handler_ns`?
+    profile: bool,
     /// Active network partition: group id per point. Messages whose
     /// endpoints fall in different groups are dropped at delivery time
     /// (so a heal lets *later* sends through but cannot resurrect
@@ -236,6 +273,9 @@ impl<A: Actor> Engine<A> {
             // put back) — the engine allocates no per-event buffers.
             out_buf: Vec::with_capacity(32),
             events_processed: 0,
+            events_by_kind: [0; 3],
+            handler_ns: [Histogram::default(), Histogram::default(), Histogram::default()],
+            profile: false,
             partition: None,
             race_reports: Vec::new(),
             race_panic: true,
@@ -414,6 +454,31 @@ impl<A: Actor> Engine<A> {
         self.events_processed
     }
 
+    /// Events processed split by kind, indexed like [`EVENT_KINDS`].
+    pub fn events_by_kind(&self) -> [u64; 3] {
+        self.events_by_kind
+    }
+
+    /// Pending events per queue shard (the telemetry sampler's
+    /// queue-depth series).
+    pub fn shard_depths(&self) -> Vec<usize> {
+        self.queue.shard_lens()
+    }
+
+    /// Enable (or disable) per-event-kind handler wall-time profiling.
+    /// Observation only: simulated behaviour and deterministic reports
+    /// are unaffected at either setting.
+    pub fn set_profile(&mut self, enabled: bool) {
+        self.profile = enabled;
+    }
+
+    /// Handler wall-time histograms in nanoseconds, indexed like
+    /// [`EVENT_KINDS`]. Empty unless [`Engine::set_profile`] was on while
+    /// events drained.
+    pub fn handler_ns(&self) -> &[Histogram; 3] {
+        &self.handler_ns
+    }
+
     /// Decode a popped event into `(target node, handler work)`,
     /// accounting partition cuts. `None`: dropped at an active cut.
     /// Shared by the sequential and batched drains so their drop
@@ -508,6 +573,8 @@ impl<A: Actor> Engine<A> {
             return false;
         };
         self.events_processed += 1;
+        let kind = ev.kind_idx();
+        self.events_by_kind[kind] += 1;
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
         let Some((node, work)) = self.decode(ev) else {
@@ -517,6 +584,13 @@ impl<A: Actor> Engine<A> {
             return true;
         };
         let mut out = std::mem::take(&mut self.out_buf);
+        // Observation only: handler wall time lands in `handler_ns`,
+        // never in simulated state.
+        let started = if self.profile {
+            Some(std::time::Instant::now()) // tapestry-lint: allow(wall-clock)
+        } else {
+            None
+        };
         Self::run_handler(
             &mut actor,
             self.now,
@@ -528,6 +602,9 @@ impl<A: Actor> Engine<A> {
             None,
             work,
         );
+        if let Some(t0) = started {
+            self.handler_ns[kind].record(t0.elapsed().as_nanos() as u64);
+        }
         self.actors[node] = Some(actor);
         for eff in out.drain(..) {
             self.apply_effect(node, eff);
@@ -650,6 +727,11 @@ impl<A: Actor> Engine<A> {
             desc: race::EventDesc,
             /// Shadow footprint this event's handler recorded.
             trace: Vec<race::Touch>,
+            /// Event-kind index, for the profiling histograms.
+            kind: usize,
+            /// Handler wall time (profiling runs only; absorbed in pop
+            /// order like every other per-item observation).
+            elapsed_ns: u64,
         }
 
         let mut processed = 0u64;
@@ -677,6 +759,8 @@ impl<A: Actor> Engine<A> {
                 let (_, seq, _, ev) = self.queue.pop().expect("peeked");
                 processed += 1;
                 self.events_processed += 1;
+                let kind = ev.kind_idx();
+                self.events_by_kind[kind] += 1;
                 let desc = if race::RACE_DETECTOR_COMPILED {
                     race::EventDesc {
                         seq,
@@ -703,16 +787,29 @@ impl<A: Actor> Engine<A> {
                     actor,
                     work: Some(work),
                     out: out_pool.pop().unwrap_or_default(),
-                    stats: SimStats::default(),
+                    // Scratch inherits trace enablement so handlers see
+                    // the same `trace_enabled` answer as the sequential
+                    // path; records merge back in pop order at absorb.
+                    stats: self.stats.scratch(),
                     desc,
                     trace: Vec::new(),
+                    kind,
+                    elapsed_ns: 0,
                 });
             }
             // ---- run handlers (parallel when the batch is worth it) -----
             let metric = &*self.metric;
             let record_races = race::RACE_DETECTOR_COMPILED && batch.len() >= 2;
+            let profile = self.profile;
             let run_item = |item: &mut BatchItem<A>| {
                 let work = item.work.take().expect("work set at collection");
+                // Observation only (see `step`); each worker times its
+                // own items and the engine records them in pop order.
+                let started = if profile {
+                    Some(std::time::Instant::now()) // tapestry-lint: allow(wall-clock)
+                } else {
+                    None
+                };
                 Self::run_handler(
                     &mut item.actor,
                     t,
@@ -726,6 +823,9 @@ impl<A: Actor> Engine<A> {
                     if record_races { Some(&mut item.trace) } else { None },
                     work,
                 );
+                if let Some(t0) = started {
+                    item.elapsed_ns = t0.elapsed().as_nanos() as u64;
+                }
             };
             if batch.len() >= PARALLEL_BATCH_MIN && self.threads > 1 {
                 let chunk = batch.len().div_ceil(self.threads);
@@ -754,6 +854,9 @@ impl<A: Actor> Engine<A> {
             for mut item in batch.drain(..) {
                 self.actors[item.node] = Some(item.actor);
                 self.stats.absorb(&item.stats);
+                if profile {
+                    self.handler_ns[item.kind].record(item.elapsed_ns);
+                }
                 for eff in item.out.drain(..) {
                     self.apply_effect(item.node, eff);
                 }
@@ -798,6 +901,7 @@ mod tests {
 
         fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, &'static str>, timer: &'static str) {
             assert_eq!(timer, "tick");
+            // tapestry-lint: allow(raw-counter) -- engine test, no registry here
             ctx.count("ticks", 1);
         }
     }
@@ -1099,8 +1203,24 @@ mod tests {
 
         fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: NodeIdx, msg: u32) {
             self.log.lock().unwrap().push((ctx.now.0, ctx.me, msg));
+            // tapestry-lint: allow(raw-counter)
             ctx.record("payload", u64::from(msg));
+            // tapestry-lint: allow(raw-counter)
             ctx.count("receipts", 1);
+            if ctx.trace_enabled() {
+                ctx.trace(TraceRecord {
+                    trace: u64::from(msg),
+                    kind: "locate",
+                    hop: 0,
+                    level: 0,
+                    digit: 0,
+                    from: ctx.me,
+                    to: (ctx.me + 1) % 8,
+                    dist: 1.0,
+                    cum_dist: 1.0,
+                    at: ctx.now,
+                });
+            }
             if msg < 6 {
                 // Same-instant self-timer, a cross-node send and a burst
                 // timer landing on a shared future instant.
@@ -1125,6 +1245,9 @@ mod tests {
             let space = RingSpace::even(8, 64.0);
             let mut e: Engine<SyncTracer> = Engine::new(Box::new(space), SimTime(1));
             e.set_threads(threads);
+            // A deliberately tight trace cap so overflow accounting is
+            // exercised across the scratch merges too.
+            e.stats_mut().enable_trace(10);
             for i in 0..8 {
                 e.add_node(i, SyncTracer { log: log.clone() });
             }
@@ -1137,6 +1260,8 @@ mod tests {
             // Workers may append same-instant entries in any real-time
             // order; the *simulated* outcome is the sorted multiset.
             trace.sort_unstable();
+            let hops = e.stats().trace().expect("tracing on");
+            assert!(hops.dropped() > 0, "cap of 10 must overflow here");
             (
                 n,
                 trace,
@@ -1147,6 +1272,9 @@ mod tests {
                 e.stats().distance.to_bits(),
                 e.now(),
                 e.events_processed(),
+                e.events_by_kind(),
+                hops.records().to_vec(),
+                hops.dropped(),
             )
         };
         assert_eq!(run(1), run(4), "threaded drain diverged from sequential");

@@ -213,6 +213,26 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_percentiles_are_zero_at_every_quantile() {
+        // The metrics emitter prints p50/p90/p99/p999 for histograms that
+        // may never have recorded (e.g. found-live latency in a scenario
+        // where every locate failed) — all must read 0, including the
+        // clamped endpoints.
+        let h = Histogram::new();
+        for q in [0.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(q), 0, "percentile({q}) on empty");
+        }
+        assert_eq!(h.p90(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.p999(), 0);
+        // Merging an empty histogram into an empty one stays empty.
+        let mut a = Histogram::new();
+        a.merge(&h);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.p999(), 0);
+    }
+
+    #[test]
     fn merge_matches_recording_directly() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

@@ -22,9 +22,9 @@ mod shard;
 mod stats;
 mod time;
 
-pub use engine::{Actor, Ctx, Engine, NodeIdx, RunBudget, EXTERNAL};
+pub use engine::{Actor, Ctx, Engine, NodeIdx, RunBudget, EVENT_KINDS, EXTERNAL};
 pub use histogram::Histogram;
 pub use race::{Access, EventDesc, RaceReport, RACE_DETECTOR_COMPILED};
 pub use shard::ShardedQueue;
-pub use stats::SimStats;
+pub use stats::{SimStats, TraceBuf, TraceRecord};
 pub use time::SimTime;

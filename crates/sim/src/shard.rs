@@ -77,6 +77,14 @@ impl<E> ShardedQueue<E> {
         self.shards.len()
     }
 
+    /// Pending events per shard, in shard order — the queue-depth series
+    /// the telemetry sampler reports. Purely a size snapshot: shard
+    /// membership is a pure function of the node key, so at any simulated
+    /// instant the depths are identical at every thread count.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|h| h.len()).collect()
+    }
+
     /// Total pending events.
     pub fn len(&self) -> usize {
         self.len

@@ -1,5 +1,91 @@
-use crate::Histogram;
+use crate::{Histogram, SimTime};
 use std::collections::BTreeMap;
+
+/// One causal hop of a sampled operation: who forwarded to whom, at which
+/// routing level/digit, at what metric cost. Records are keyed by **sim
+/// time** (never wall clock), so a trace is byte-identical at every thread
+/// count — the same contract the deterministic reports ride.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Operation identity threaded through the message path (sampled
+    /// locates, joins, or the repair sentinel — the trace layer assigns).
+    pub trace: u64,
+    /// Operation family: `"locate"`, `"publish"`, `"join"`, `"repair"`.
+    pub kind: &'static str,
+    /// Hop index within the operation (0 = first forward).
+    pub hop: u32,
+    /// Routing level the forward resolved at.
+    pub level: u32,
+    /// Digit matched at that level.
+    pub digit: u8,
+    /// Forwarding node.
+    pub from: usize,
+    /// Next-hop node.
+    pub to: usize,
+    /// Metric distance of this hop.
+    pub dist: f64,
+    /// Distance accumulated over the operation including this hop — the
+    /// numerator of per-hop stretch attribution.
+    pub cum_dist: f64,
+    /// Simulated time the forward happened.
+    pub at: SimTime,
+}
+
+/// Bounded ring collector for [`TraceRecord`]s: keeps the first `cap`
+/// records in global event (pop) order and counts the overflow instead of
+/// growing without bound.
+///
+/// Determinism across the two drain paths: the sequential engine pushes
+/// records in handler order (= pop order); the batched drain pushes into
+/// per-item scratch buffers and [`SimStats::absorb`]s them **in pop
+/// order**, so the merged buffer holds exactly the same first-`cap`
+/// records and the same `dropped` count at every thread count.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuf {
+    cap: usize,
+    records: Vec<TraceRecord>,
+    dropped: u64,
+}
+
+impl TraceBuf {
+    /// An empty buffer bounded at `cap` records.
+    pub fn new(cap: usize) -> Self {
+        TraceBuf { cap, records: Vec::new(), dropped: 0 }
+    }
+
+    /// Record capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Append one record, counting it as dropped once full.
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.records.len() < self.cap {
+            self.records.push(rec);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Records kept, in event order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records that arrived after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Fold a scratch buffer in, preserving the cap and overflow count —
+    /// the absorb-side half of the pop-order determinism argument above.
+    pub fn merge(&mut self, other: &TraceBuf) {
+        for rec in &other.records {
+            self.push(*rec);
+        }
+        self.dropped += other.dropped;
+    }
+}
 
 /// Global cost counters for one simulation run.
 ///
@@ -25,6 +111,9 @@ pub struct SimStats {
     pub timers: u64,
     named: BTreeMap<&'static str, u64>,
     hists: BTreeMap<&'static str, Histogram>,
+    /// Hop-trace collector; `None` (the default) costs one branch per
+    /// would-be record and keeps reports byte-identical to untraced runs.
+    trace: Option<TraceBuf>,
 }
 
 impl SimStats {
@@ -59,11 +148,46 @@ impl SimStats {
         self.hists.iter().map(|(&k, v)| (k, v))
     }
 
+    /// Turn on hop tracing with a ring buffer of `cap` records. Enabling
+    /// is idempotent on the cap; records survive re-enabling.
+    pub fn enable_trace(&mut self, cap: usize) {
+        match &mut self.trace {
+            Some(buf) => buf.cap = cap,
+            None => self.trace = Some(TraceBuf::new(cap)),
+        }
+    }
+
+    /// Is hop tracing on?
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The trace collector (`None` unless [`SimStats::enable_trace`]d).
+    pub fn trace(&self) -> Option<&TraceBuf> {
+        self.trace.as_ref()
+    }
+
+    /// Append a hop record when tracing is on (no-op otherwise).
+    pub fn trace_push(&mut self, rec: TraceRecord) {
+        if let Some(buf) = &mut self.trace {
+            buf.push(rec);
+        }
+    }
+
+    /// A fresh scratch accumulator for one parallel-drain work item:
+    /// empty counters, and a trace buffer iff this (the engine-global)
+    /// stats has one — so handlers see the same `trace_enabled` answer on
+    /// both drain paths.
+    pub fn scratch(&self) -> SimStats {
+        SimStats { trace: self.trace.as_ref().map(|b| TraceBuf::new(b.cap)), ..SimStats::default() }
+    }
+
     /// Fold another stats accumulation into this one (counter sums,
-    /// histogram bucket merges). The engine's parallel drain gives each
-    /// same-instant worker a private scratch `SimStats` and absorbs the
-    /// scratches in event order — all merged quantities are integer adds
-    /// or bucket counts, so the result is identical to having accumulated
+    /// histogram bucket merges, trace-buffer appends). The engine's
+    /// parallel drain gives each same-instant worker a private scratch
+    /// `SimStats` and absorbs the scratches in event order — all merged
+    /// quantities are integer adds, bucket counts or order-preserving
+    /// appends, so the result is identical to having accumulated
     /// sequentially.
     pub fn absorb(&mut self, other: &SimStats) {
         self.messages += other.messages;
@@ -76,6 +200,15 @@ impl SimStats {
         }
         for (name, h) in other.histograms() {
             self.hists.entry(name).or_default().merge(h);
+        }
+        if let Some(theirs) = &other.trace {
+            match &mut self.trace {
+                Some(mine) => mine.merge(theirs),
+                // A scratch with records but no parent buffer cannot occur
+                // in the engine (scratches inherit the parent's buffer),
+                // but direct absorb callers get the obvious semantics.
+                None => self.trace = Some(theirs.clone()),
+            }
         }
     }
 
@@ -98,7 +231,9 @@ mod tests {
     #[test]
     fn named_counters_accumulate() {
         let mut s = SimStats::default();
+        // tapestry-lint: allow(raw-counter) -- exercising the raw key API
         s.add("locate.hops", 3);
+        // tapestry-lint: allow(raw-counter)
         s.add("locate.hops", 2);
         assert_eq!(s.get("locate.hops"), 5);
         assert_eq!(s.get("never"), 0);
@@ -107,7 +242,9 @@ mod tests {
     #[test]
     fn named_iteration_sorted() {
         let mut s = SimStats::default();
+        // tapestry-lint: allow(raw-counter) -- sorted-iteration fixture
         s.add("b", 1);
+        // tapestry-lint: allow(raw-counter)
         s.add("a", 2);
         let names: Vec<_> = s.named().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["a", "b"]);
@@ -117,6 +254,7 @@ mod tests {
     fn named_histograms_record_and_report() {
         let mut s = SimStats::default();
         for v in [10u64, 20, 30, 40] {
+            // tapestry-lint: allow(raw-counter) -- exercising the raw key API
             s.record("locate.latency", v);
         }
         let h = s.histogram("locate.latency").expect("recorded");
@@ -125,6 +263,113 @@ mod tests {
         assert!(s.histogram("never").is_none());
         let names: Vec<_> = s.histograms().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["locate.latency"]);
+    }
+
+    fn rec(trace: u64, hop: u32) -> TraceRecord {
+        TraceRecord {
+            trace,
+            kind: "locate",
+            hop,
+            level: 1,
+            digit: 2,
+            from: 3,
+            to: 4,
+            dist: 5.0,
+            cum_dist: 6.0,
+            at: SimTime(7),
+        }
+    }
+
+    #[test]
+    fn trace_disabled_by_default_and_push_is_inert() {
+        let mut s = SimStats::default();
+        assert!(!s.trace_enabled());
+        s.trace_push(rec(1, 0));
+        assert!(s.trace().is_none(), "pushes without a buffer vanish");
+    }
+
+    #[test]
+    fn trace_ring_buffer_counts_overflow() {
+        let mut buf = TraceBuf::new(2);
+        for hop in 0..5 {
+            buf.push(rec(9, hop));
+        }
+        assert_eq!(buf.records().len(), 2, "cap bounds the kept records");
+        assert_eq!(buf.records()[1].hop, 1, "first records win, not last");
+        assert_eq!(buf.dropped(), 3);
+        assert_eq!(buf.cap(), 2);
+    }
+
+    #[test]
+    fn trace_merge_preserves_cap_and_overflow() {
+        let mut a = TraceBuf::new(3);
+        a.push(rec(1, 0));
+        a.push(rec(1, 1));
+        let mut b = TraceBuf::new(3);
+        for hop in 0..4 {
+            b.push(rec(2, hop));
+        }
+        assert_eq!(b.dropped(), 1);
+        a.merge(&b);
+        assert_eq!(a.records().len(), 3, "merge respects the receiving cap");
+        assert_eq!(a.records()[2].trace, 2, "appended in order");
+        assert_eq!(a.dropped(), 1 + 2, "their overflow plus merge overflow");
+    }
+
+    #[test]
+    fn scratch_inherits_trace_enablement_and_absorb_merges() {
+        let mut parent = SimStats::default();
+        parent.enable_trace(4);
+        let mut s1 = parent.scratch();
+        let mut s2 = parent.scratch();
+        assert!(s1.trace_enabled() && s2.trace_enabled());
+        s1.trace_push(rec(1, 0));
+        s2.trace_push(rec(2, 0));
+        parent.absorb(&s1);
+        parent.absorb(&s2);
+        let buf = parent.trace().expect("enabled");
+        let ids: Vec<u64> = buf.records().iter().map(|r| r.trace).collect();
+        assert_eq!(ids, vec![1, 2], "absorb order is record order");
+        // An untraced parent's scratch records nothing.
+        let plain = SimStats::default().scratch();
+        assert!(!plain.trace_enabled());
+    }
+
+    /// `absorb` is associative over sharded drains: folding scratches
+    /// one-by-one equals folding pre-merged halves, for counters,
+    /// histograms and trace buffers alike.
+    #[test]
+    fn absorb_merge_is_associative() {
+        let mk = |seed: u64| {
+            let mut s = SimStats { messages: seed, distance: seed as f64, ..SimStats::default() };
+            // tapestry-lint: allow(raw-counter)
+            s.add("k", seed);
+            // tapestry-lint: allow(raw-counter)
+            s.record("h", seed * 10 + 1);
+            s.enable_trace(3);
+            s.trace_push(rec(seed, 0));
+            s
+        };
+        let (a, b, c) = (mk(1), mk(2), mk(3));
+        let mut one_by_one = SimStats::default();
+        one_by_one.enable_trace(3);
+        for s in [&a, &b, &c] {
+            one_by_one.absorb(s);
+        }
+        let mut halves = SimStats::default();
+        halves.enable_trace(3);
+        let mut bc = b.clone();
+        bc.absorb(&c);
+        halves.absorb(&a);
+        halves.absorb(&bc);
+        assert_eq!(one_by_one.messages, halves.messages);
+        assert_eq!(one_by_one.get("k"), halves.get("k"));
+        assert_eq!(
+            one_by_one.histogram("h").map(|h| (h.count(), h.p50())),
+            halves.histogram("h").map(|h| (h.count(), h.p50()))
+        );
+        assert_eq!(one_by_one.trace().unwrap().records(), halves.trace().unwrap().records());
+        assert_eq!(one_by_one.trace().unwrap().dropped(), halves.trace().unwrap().dropped());
     }
 
     #[test]

@@ -16,7 +16,8 @@ use std::collections::BTreeMap;
 use tapestry_core::TapestryNetwork;
 use tapestry_id::{root_id, Guid};
 use tapestry_membership::JoinCoalescer;
-use tapestry_sim::{Histogram, NodeIdx, SimStats, SimTime};
+use tapestry_sim::{Histogram, NodeIdx, SimStats, SimTime, TraceBuf};
+use tapestry_trace::{metrics, EngineObservation, SeriesSample, SeriesSampler, TraceId};
 
 /// Latencies are recorded in integer [`SimTime`] units; reports convert
 /// them back to metric-distance units.
@@ -77,6 +78,42 @@ pub struct RunTiming {
     pub drive_secs: f64,
 }
 
+/// Deterministic observability output of one instrumented run: the trace
+/// collector (when `ScenarioSpec::trace_sample` > 0) and the time-series
+/// samples (when `ScenarioSpec::metrics_window` > 0). Everything here is
+/// keyed by sim time and byte-identical at every thread count, like the
+/// report itself.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// The bounded hop-trace collector, if tracing was on.
+    pub trace: Option<TraceBuf>,
+    /// The 1-in-N read sampling rate used (0 = tracing off).
+    pub trace_sample: u64,
+    /// Emitted time-series samples, in time order.
+    pub samples: Vec<SeriesSample>,
+    /// The sampling window used (0 = sampler off).
+    pub metrics_window: u64,
+    /// The run's final merged engine stats — the counter/histogram dump
+    /// the metrics emitter appends after the time series.
+    pub stats: SimStats,
+}
+
+impl Telemetry {
+    /// The deterministic hop-trace artifact, when tracing was on — the
+    /// string CI byte-compares across thread counts.
+    pub fn trace_json(&self) -> Option<String> {
+        self.trace.as_ref().map(|buf| tapestry_trace::json::trace_json(buf, self.trace_sample))
+    }
+
+    /// The deterministic metrics artifact (time series + final
+    /// counter/histogram dump), when the sampler was on.
+    pub fn metrics_json(&self) -> Option<String> {
+        (self.metrics_window > 0).then(|| {
+            tapestry_trace::json::metrics_json(self.metrics_window, &self.samples, &self.stats)
+        })
+    }
+}
+
 impl RunTiming {
     /// Engine events per wall-clock second of the *whole* drive loop —
     /// event dispatch plus between-phase invariant checks and report
@@ -110,6 +147,15 @@ pub fn run_with_totals(spec: &ScenarioSpec) -> Result<(ScenarioReport, RunTotals
 /// [`run_with_totals`], additionally returning wall-clock [`RunTiming`]
 /// (bootstrap vs drive) for the scale driver's per-thread-count columns.
 pub fn run_timed(spec: &ScenarioSpec) -> Result<(ScenarioReport, RunTotals, RunTiming), String> {
+    run_instrumented(spec).map(|(report, totals, timing, _)| (report, totals, timing))
+}
+
+/// [`run_timed`], additionally returning the run's [`Telemetry`] (hop
+/// traces and time-series samples — empty unless the spec enables them).
+#[allow(clippy::type_complexity)] // the four run artifacts, nothing more
+pub fn run_instrumented(
+    spec: &ScenarioSpec,
+) -> Result<(ScenarioReport, RunTotals, RunTiming, Telemetry), String> {
     spec.validate()?;
     let space = spec.build_space();
     let total_points = space.len();
@@ -125,6 +171,13 @@ pub fn run_timed(spec: &ScenarioSpec) -> Result<(ScenarioReport, RunTotals, RunT
     );
     let bootstrap_secs = t0.elapsed().as_secs_f64();
     let t1 = std::time::Instant::now(); // tapestry-lint: allow(wall-clock)
+    if spec.trace_sample > 0 {
+        net.enable_trace(spec.trace_cap);
+    }
+    let mut series = (spec.metrics_window > 0).then(|| SeriesSampler::new(spec.metrics_window));
+    // Reads issued across the whole run; read `trace_sample·k` carries a
+    // trace identity (deterministic — the count is part of the schedule).
+    let mut read_seq: u64 = 0;
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5CE7_A1E5);
     // Join admission: scripted joins route through the coalescer when the
     // spec asks for batching; otherwise the classic solo path, untouched.
@@ -225,7 +278,12 @@ pub fn run_timed(spec: &ScenarioSpec) -> Result<(ScenarioReport, RunTotals, RunT
                         ops.writes += 1;
                     } else {
                         let origin = random_member(&net, &mut rng);
-                        net.locate_async(origin, obj.guid);
+                        read_seq += 1;
+                        if spec.trace_sample > 0 && read_seq.is_multiple_of(spec.trace_sample) {
+                            net.locate_async_traced(origin, obj.guid, TraceId::locate(read_seq));
+                        } else {
+                            net.locate_async(origin, obj.guid);
+                        }
                         *pending.entry(origin).or_insert(0) += 1;
                         ops.issued += 1;
                     }
@@ -246,6 +304,7 @@ pub fn run_timed(spec: &ScenarioSpec) -> Result<(ScenarioReport, RunTotals, RunT
             }
             settle_membership(&mut net, &mut free, &mut joining, &mut leaving, &mut churn, false);
             harvest(&mut net, &mut pending, &mut ops, &mut latency, &mut hops, &mut path_dist);
+            poll_series(&net, &mut series);
         }
 
         // ----- drain and finalize ----------------------------------------
@@ -264,6 +323,7 @@ pub fn run_timed(spec: &ScenarioSpec) -> Result<(ScenarioReport, RunTotals, RunT
         settle_membership(&mut net, &mut free, &mut joining, &mut leaving, &mut churn, true);
         net.run_to_idle();
         harvest(&mut net, &mut pending, &mut ops, &mut latency, &mut hops, &mut path_dist);
+        poll_series(&net, &mut series);
         pending.clear(); // whatever is left can never complete
         ops.lost = ops.issued.saturating_sub(ops.completed);
 
@@ -309,7 +369,41 @@ pub fn run_timed(spec: &ScenarioSpec) -> Result<(ScenarioReport, RunTotals, RunT
         final_nodes: net.len(),
     };
     let timing = RunTiming { bootstrap_secs, drive_secs: t1.elapsed().as_secs_f64() };
-    Ok((report, totals, timing))
+    if let Some(s) = series.as_mut() {
+        s.finish(&observe(&net));
+    }
+    let telemetry = Telemetry {
+        trace: net.engine().stats().trace().cloned(),
+        trace_sample: spec.trace_sample,
+        samples: series.map(|s| s.samples().to_vec()).unwrap_or_default(),
+        metrics_window: spec.metrics_window,
+        stats: net.engine().stats().clone(),
+    };
+    Ok((report, totals, timing, telemetry))
+}
+
+/// Snapshot the engine-level state the time-series sampler records.
+fn observe(net: &TapestryNetwork) -> EngineObservation {
+    let stats = net.engine().stats();
+    EngineObservation {
+        now: net.engine().now(),
+        events_by_kind: net.engine().events_by_kind(),
+        messages: stats.messages,
+        dropped: stats.dropped,
+        live_nodes: net.len() as u64,
+        repair_backlog: net.repair_backlog_total(),
+        queue_depths: net.engine().shard_depths(),
+    }
+}
+
+/// Offer the sampler a snapshot, assembling it only when a window has
+/// elapsed (the snapshot's backlog/queue scans are O(nodes)).
+fn poll_series(net: &TapestryNetwork, series: &mut Option<SeriesSampler>) {
+    if let Some(s) = series.as_mut() {
+        if s.due(net.engine().now()) {
+            s.poll(&observe(net));
+        }
+    }
 }
 
 /// Uniformly random live member (allocation-free: samples the network's
@@ -492,11 +586,11 @@ fn harvest(
     // SimStats sees the same distributions.
     let stats = net.engine_mut().stats_mut();
     for r in &results {
-        stats.record("locate.latency_units", (r.completed_at - r.issued_at).0);
-        stats.record("locate.hops", r.hops as u64);
+        metrics::LOCATE_LATENCY_UNITS.record_to(stats, (r.completed_at - r.issued_at).0);
+        metrics::LOCATE_HOPS.record_to(stats, r.hops as u64);
     }
     for lat in live_hits {
-        stats.record("locate.latency_units.found_live", lat);
+        metrics::LOCATE_LATENCY_UNITS_FOUND_LIVE.record_to(stats, lat);
     }
 }
 

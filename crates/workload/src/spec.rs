@@ -163,6 +163,17 @@ pub struct ScenarioSpec {
     /// (the O(n · hops) exhaustive walk that dominated checked phases at
     /// 25k+ nodes). Small networks are exhaustive either way.
     pub exhaustive_checks: bool,
+    /// Hop-trace sampling: every `trace_sample`-th issued read carries a
+    /// trace identity and its routing hops are recorded (0 = tracing off,
+    /// the default — the send path then costs one branch per hop).
+    pub trace_sample: u64,
+    /// Capacity of the bounded trace collector; overflow past it is
+    /// counted, not stored.
+    pub trace_cap: usize,
+    /// Time-series sampling window in sim-time units (0 = sampler off,
+    /// the default). Samples are keyed by sim time, so the series is
+    /// byte-identical at every thread count.
+    pub metrics_window: u64,
     /// The phases, run in order.
     pub phases: Vec<PhaseSpec>,
 }
@@ -182,6 +193,9 @@ impl ScenarioSpec {
             threads: 1,
             join_batch: None,
             exhaustive_checks: false,
+            trace_sample: 0,
+            trace_cap: 4096,
+            metrics_window: 0,
             phases: Vec::new(),
         }
     }
@@ -257,6 +271,26 @@ impl ScenarioSpec {
     /// Restore the exhaustive (every-member) Theorem 2 spot-check.
     pub fn exhaustive_checks(mut self) -> Self {
         self.exhaustive_checks = true;
+        self
+    }
+
+    /// Trace every `n`-th issued read's routing hops (0 turns tracing
+    /// off). Joins and repair actions are traced whenever sampling is on.
+    pub fn trace_sample(mut self, n: u64) -> Self {
+        self.trace_sample = n;
+        self
+    }
+
+    /// Bound the trace collector at `cap` records (overflow is counted).
+    pub fn trace_cap(mut self, cap: usize) -> Self {
+        self.trace_cap = cap.max(1);
+        self
+    }
+
+    /// Emit one time-series sample per `window` sim-time units (0 turns
+    /// the sampler off).
+    pub fn metrics_window(mut self, window: u64) -> Self {
+        self.metrics_window = window;
         self
     }
 

@@ -1,0 +1,83 @@
+//! Telemetry determinism and registry coverage: the trace and metrics
+//! JSON artifacts must be byte-identical across thread counts (the same
+//! contract as the reports), and every counter/histogram a real run
+//! records must have a typed registry definition.
+
+use tapestry_trace::lookup_key;
+use tapestry_workload::{presets, runner};
+
+/// Sim-time units per metrics sample in these tests (1024 distance
+/// units — a handful of samples per phase at test scale).
+const WINDOW: u64 = 1 << 20;
+
+#[test]
+fn trace_and_metrics_json_are_byte_identical_across_threads() {
+    let spec = |threads: usize| {
+        presets::preset("churn-storm", 24, 150, 9)
+            .unwrap()
+            .threads(threads)
+            .trace_sample(4)
+            .trace_cap(512)
+            .metrics_window(WINDOW)
+    };
+    let (report1, _, _, tel1) = runner::run_instrumented(&spec(1)).unwrap();
+    let trace1 = tel1.trace_json().expect("tracing on");
+    let metrics1 = tel1.metrics_json().expect("sampler on");
+    assert!(trace1.contains("\"kind\":\"locate\""), "sampled locates traced: {trace1}");
+    assert!(trace1.contains("\"kind\":\"join\""), "joins traced under churn");
+    assert!(metrics1.contains("\"samples\":[{"), "series non-empty");
+    for threads in [2, 4] {
+        let (report, _, _, tel) = runner::run_instrumented(&spec(threads)).unwrap();
+        assert_eq!(report1.to_json(), report.to_json(), "report @ {threads} threads");
+        assert_eq!(trace1, tel.trace_json().unwrap(), "trace JSON @ {threads} threads");
+        assert_eq!(metrics1, tel.metrics_json().unwrap(), "metrics JSON @ {threads} threads");
+    }
+}
+
+#[test]
+fn telemetry_off_by_default_and_costs_nothing_in_the_artifacts() {
+    let spec = presets::preset("steady-zipf", 16, 60, 2).unwrap();
+    let (_, _, _, tel) = runner::run_instrumented(&spec).unwrap();
+    assert!(tel.trace.is_none());
+    assert!(tel.samples.is_empty());
+    assert!(tel.trace_json().is_none());
+    assert!(tel.metrics_json().is_none());
+}
+
+#[test]
+fn tracing_does_not_change_the_deterministic_report() {
+    // The collector observes; it must never perturb the schedule. A run
+    // with tracing and sampling on produces the same report bytes as one
+    // without.
+    let base = presets::preset("flash-crowd", 24, 120, 11).unwrap();
+    let traced =
+        presets::preset("flash-crowd", 24, 120, 11).unwrap().trace_sample(2).metrics_window(WINDOW);
+    let plain = runner::run(&base).unwrap();
+    let (instrumented, _, _, _) = runner::run_instrumented(&traced).unwrap();
+    assert_eq!(plain.to_json(), instrumented.to_json());
+    assert_eq!(plain.to_csv(), instrumented.to_csv());
+}
+
+#[test]
+fn every_recorded_metric_has_a_registry_definition() {
+    // Drive a churny scenario (joins, kills, probes, repair) so most of
+    // the protocol's counters move, then demand a typed definition for
+    // every storage key that appeared. The one sanctioned exception is
+    // the repair ledger's per-fact-kind dynamic keys (`repair.fact.*`),
+    // which share one registry family by prefix.
+    let spec = presets::preset("mass-failure", 32, 200, 3).unwrap().metrics_window(WINDOW);
+    let (_, _, _, tel) = runner::run_instrumented(&spec).unwrap();
+    let mut seen = 0;
+    for (key, _) in tel.stats.named() {
+        if key.starts_with("repair.fact.") {
+            continue;
+        }
+        assert!(lookup_key(key).is_some(), "counter `{key}` has no registry definition");
+        seen += 1;
+    }
+    for (key, _) in tel.stats.histograms() {
+        assert!(lookup_key(key).is_some(), "histogram `{key}` has no registry definition");
+        seen += 1;
+    }
+    assert!(seen > 10, "a churny run should touch many registered metrics, saw {seen}");
+}
